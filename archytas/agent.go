@@ -1,0 +1,241 @@
+package archytas
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Step is one ReAct iteration: Thought (why this tool), Action (the tool
+// and its arguments), Observation (the tool's result).
+type Step struct {
+	// Thought explains the tool choice.
+	Thought string
+	// Action names the invoked tool.
+	Action string
+	// Args are the invocation arguments.
+	Args map[string]any
+	// Code is the rendered tool template for this invocation.
+	Code string
+	// Observation is the tool's output (or error text).
+	Observation string
+	// Err is the tool error, if any.
+	Err error
+	// Elapsed is the wall-clock duration of the tool call.
+	Elapsed time.Duration
+}
+
+// String renders the step as a ReAct trace block.
+func (s Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Thought: %s\n", s.Thought)
+	fmt.Fprintf(&b, "Action: %s(%s)\n", s.Action, renderArgs(s.Args))
+	if s.Err != nil {
+		fmt.Fprintf(&b, "Observation: ERROR: %v\n", s.Err)
+	} else {
+		fmt.Fprintf(&b, "Observation: %s\n", s.Observation)
+	}
+	return b.String()
+}
+
+func renderArgs(args map[string]any) string {
+	if len(args) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, args[k]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Agent is a ReAct agent over a toolbox and a shared environment.
+type Agent struct {
+	toolbox *Toolbox
+	env     *Env
+	trace   []Step
+	// SimilarityFloor is the minimum docstring similarity for routing an
+	// utterance with no extractable tool (default 0.05).
+	SimilarityFloor float64
+	// MaxSteps bounds tool invocations per request (default 8).
+	MaxSteps int
+}
+
+// NewAgent builds an agent.
+func NewAgent(tb *Toolbox, env *Env) (*Agent, error) {
+	if tb == nil || env == nil {
+		return nil, fmt.Errorf("archytas: agent needs toolbox and env")
+	}
+	return &Agent{toolbox: tb, env: env, SimilarityFloor: 0.05, MaxSteps: 8}, nil
+}
+
+// Env exposes the agent's environment.
+func (a *Agent) Env() *Env { return a.env }
+
+// Toolbox exposes the agent's toolbox.
+func (a *Agent) Toolbox() *Toolbox { return a.toolbox }
+
+// Trace returns all steps taken so far, in order.
+func (a *Agent) Trace() []Step {
+	out := make([]Step, len(a.trace))
+	copy(out, a.trace)
+	return out
+}
+
+// Invoke runs a named tool directly (the expert path: "expert users can
+// either further iterate on the code produced using the chat interface, or
+// program their pipelines directly").
+func (a *Agent) Invoke(toolName string, args map[string]any) (Step, error) {
+	tool, err := a.toolbox.Get(toolName)
+	if err != nil {
+		return Step{}, err
+	}
+	step := a.runTool(fmt.Sprintf("the user asked for %s directly", toolName), tool, args)
+	return step, step.Err
+}
+
+// Handle processes one natural-language request: it decomposes the
+// utterance into segments, routes each to a tool, invokes the chain, and
+// returns the steps taken ("the reasoning Archytas agent can decide to
+// chain several tool invocations if it deems it necessary to fulfill the
+// desired request").
+func (a *Agent) Handle(utterance string) ([]Step, error) {
+	segments := Decompose(utterance)
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("archytas: empty request")
+	}
+	if len(segments) > a.MaxSteps {
+		segments = segments[:a.MaxSteps]
+	}
+	var steps []Step
+	for _, seg := range segments {
+		best := a.toolbox.Best(seg, a.SimilarityFloor)
+		if best == nil {
+			step := Step{
+				Thought:     fmt.Sprintf("no tool matches %q", seg),
+				Action:      "none",
+				Observation: "I don't have a tool for that. Available tools:\n" + a.toolbox.Describe(),
+			}
+			a.trace = append(a.trace, step)
+			steps = append(steps, step)
+			continue
+		}
+		thought := fmt.Sprintf("%q looks like a job for %s (similarity %.2f)",
+			seg, best.Tool.Name, best.Similarity)
+		step := a.runTool(thought, best.Tool, best.Args)
+		steps = append(steps, step)
+		if step.Err != nil {
+			return steps, fmt.Errorf("archytas: %s: %w", best.Tool.Name, step.Err)
+		}
+	}
+	return steps, nil
+}
+
+func (a *Agent) runTool(thought string, tool *Tool, args map[string]any) Step {
+	if args == nil {
+		args = map[string]any{}
+	}
+	step := Step{Thought: thought, Action: tool.Name, Args: args}
+	start := time.Now()
+	defer func() { step.Elapsed = time.Since(start) }()
+
+	if err := tool.CheckArgs(args); err != nil {
+		step.Err = err
+		a.trace = append(a.trace, step)
+		return step
+	}
+	if code, err := tool.RenderCode(a.env, args); err == nil {
+		step.Code = code
+	} else {
+		// Missing template variables are tool-author errors, surfaced in
+		// the observation but not fatal to execution.
+		step.Code = "# template error: " + err.Error()
+	}
+	obs, err := tool.Run(a.env, args)
+	step.Observation = obs
+	step.Err = err
+	a.trace = append(a.trace, step)
+	return step
+}
+
+// chainMarkers split a compound request into sequential sub-requests. " and "
+// splits only before an action verb, so predicates like "gene mutation and
+// tumor cells" stay intact.
+var chainMarkers = []string{"; ", ". ", ", then ", " then ", " and then ", " after that ", " afterwards "}
+
+var actionVerbs = []string{
+	"load", "register", "upload", "use", "create", "make", "define", "generate",
+	"filter", "keep", "select", "extract", "convert", "pull", "set", "optimize",
+	"run", "execute", "show", "display", "give", "tell", "report", "export",
+	"download", "list", "restore", "save",
+}
+
+// Decompose splits a compound utterance into sequential tool-sized
+// segments.
+func Decompose(utterance string) []string {
+	text := strings.TrimSpace(utterance)
+	if text == "" {
+		return nil
+	}
+	segs := []string{text}
+	for _, m := range chainMarkers {
+		var next []string
+		for _, s := range segs {
+			next = append(next, strings.Split(s, m)...)
+		}
+		segs = next
+	}
+	// Conditional " and " split: only when the clause after "and" starts
+	// with an action verb (optionally after "for these"/"for those"/
+	// "please").
+	var out []string
+	for _, s := range segs {
+		out = append(out, splitOnActionAnd(s)...)
+	}
+	var clean []string
+	for _, s := range out {
+		s = strings.Trim(strings.TrimSpace(s), ".!")
+		if s != "" {
+			clean = append(clean, s)
+		}
+	}
+	return clean
+}
+
+func splitOnActionAnd(s string) []string {
+	lower := strings.ToLower(s)
+	idx := 0
+	for {
+		i := strings.Index(lower[idx:], " and ")
+		if i < 0 {
+			return []string{s}
+		}
+		after := strings.TrimSpace(lower[idx+i+5:])
+		stripped := 0
+		for _, lead := range []string{"for these ", "for those ", "for them ", "please ", "also ", "i want to ", "i would like to "} {
+			if strings.HasPrefix(after, lead) {
+				after = after[len(lead):]
+				stripped += len(lead)
+			}
+		}
+		for _, v := range actionVerbs {
+			if strings.HasPrefix(after, v+" ") || after == v {
+				left := strings.TrimSpace(s[:idx+i])
+				right := strings.TrimSpace(s[idx+i+5:])
+				right = strings.TrimSpace(right[min(stripped, len(right)):])
+				return append([]string{left}, splitOnActionAnd(right)...)
+			}
+		}
+		idx += i + 5
+	}
+}

@@ -1,0 +1,69 @@
+package archytas_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/archytas"
+	"repro/internal/tmpl"
+)
+
+// Example builds a tiny toolbox and lets the ReAct agent decompose a
+// compound request into chained tool invocations.
+func Example() {
+	tb := archytas.NewToolbox()
+	tb.MustRegister(&archytas.Tool{
+		Name:     "greet",
+		Doc:      "Greet a person by name.",
+		Examples: []string{"say hello to Ada"},
+		Template: tmpl.MustParse(`greet("{{ name }}")`),
+		Extract: func(u string) (map[string]any, bool) {
+			if i := strings.Index(u, "hello to "); i >= 0 {
+				return map[string]any{"name": strings.TrimSpace(u[i+9:])}, true
+			}
+			return nil, false
+		},
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			return "Hello, " + args["name"].(string) + "!", nil
+		},
+	})
+	tb.MustRegister(&archytas.Tool{
+		Name:     "count_tools",
+		Doc:      "Count the registered tools.",
+		Examples: []string{"how many tools are there"},
+		Extract: func(u string) (map[string]any, bool) {
+			return nil, strings.Contains(u, "how many tools")
+		},
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			return fmt.Sprintf("There are %d tools.", tb.Len()), nil
+		},
+	})
+
+	agent, err := archytas.NewAgent(tb, archytas.NewEnv())
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps, err := agent.Handle("say hello to Ada, then how many tools are there")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range steps {
+		fmt.Println(s.Observation)
+	}
+	// Output:
+	// Hello, Ada!
+	// There are 2 tools.
+}
+
+// ExampleDecompose shows compound-request splitting: " and " only splits
+// before an action verb, so noun phrases stay intact.
+func ExampleDecompose() {
+	for _, seg := range archytas.Decompose(
+		"filter papers about gene mutation and tumor cells and extract the datasets") {
+		fmt.Println(seg)
+	}
+	// Output:
+	// filter papers about gene mutation and tumor cells
+	// extract the datasets
+}

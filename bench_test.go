@@ -1,0 +1,288 @@
+// Package repro_test holds the top-level benchmark harness: one testing.B
+// benchmark per paper artifact (DESIGN.md experiment index E1-E8) plus the
+// ablations. Each benchmark runs the corresponding experiment and reports
+// the reproduced quantities as custom metrics (records, simulated seconds,
+// dollars), so `go test -bench=. -benchmem` regenerates the paper's
+// numbers alongside engineering costs.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/llm"
+	"repro/internal/optimizer"
+	"repro/pz"
+)
+
+// BenchmarkE1ScientificDiscovery reproduces the §3 headline workload:
+// 11 papers -> filter(colorectal cancer) -> convert(ClinicalData,
+// ONE_TO_MANY) under MaxQuality. Paper: 6 datasets, ~240 s, ~$0.35.
+func BenchmarkE1ScientificDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.OutputDatasets != 6 {
+			b.Fatalf("extracted %d datasets, want 6", r.OutputDatasets)
+		}
+		b.ReportMetric(float64(r.OutputDatasets), "datasets")
+		b.ReportMetric(r.Runtime.Seconds(), "sim_s")
+		b.ReportMetric(r.CostUSD, "usd")
+		b.ReportMetric(r.ExtractionF1, "F1")
+	}
+}
+
+// BenchmarkE2ChatPipelineConstruction reproduces the Figure 3-4 chat flow:
+// the full conversation, including the compound request the agent
+// decomposes into chained tool calls.
+func BenchmarkE2ChatPipelineConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE2(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.OutputDatasets != 6 {
+			b.Fatalf("chat pipeline yielded %d datasets, want 6", r.OutputDatasets)
+		}
+		b.ReportMetric(float64(r.DecomposedSteps), "chained_calls")
+		b.ReportMetric(float64(len(r.Actions)), "tool_calls")
+	}
+}
+
+// BenchmarkE3CodeGeneration reproduces the Figure 6 code export and checks
+// every structural element is present.
+func BenchmarkE3CodeGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE3(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Missing != 0 {
+			b.Fatalf("generated code missing %d Figure 6 elements", r.Missing)
+		}
+		b.ReportMetric(float64(len(experiments.Figure6Elements)-r.Missing), "fig6_elements")
+	}
+}
+
+// BenchmarkE4LegalDiscovery runs the legal-discovery demo scenario.
+func BenchmarkE4LegalDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE4Legal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Outputs), "contracts")
+		b.ReportMetric(r.CostUSD, "usd")
+		b.ReportMetric(r.Runtime.Seconds(), "sim_s")
+	}
+}
+
+// BenchmarkE4RealEstate runs the real-estate search demo scenario.
+func BenchmarkE4RealEstate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE4RealEstate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Outputs), "groups")
+		b.ReportMetric(r.CostUSD, "usd")
+		b.ReportMetric(r.Runtime.Seconds(), "sim_s")
+	}
+}
+
+// BenchmarkE5PolicySweep reproduces §2.1's optimizer behaviour: the policy
+// sweep across pure and constrained objectives. Reported metrics are the
+// quality-vs-cost spread between the extreme policies.
+func BenchmarkE5PolicySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var quality, cost experiments.E5Row
+		for _, r := range rows {
+			switch r.Policy {
+			case "max-quality":
+				quality = r
+			case "min-cost":
+				cost = r
+			}
+		}
+		if quality.MeasCost <= cost.MeasCost {
+			b.Fatal("max-quality run not more expensive than min-cost run")
+		}
+		if quality.ExtractionF1 <= cost.ExtractionF1 {
+			b.Fatal("max-quality run not higher F1 than min-cost run")
+		}
+		b.ReportMetric(quality.MeasCost/cost.MeasCost, "cost_ratio")
+		b.ReportMetric(quality.ExtractionF1-cost.ExtractionF1, "F1_gap")
+	}
+}
+
+// BenchmarkE6PlanEnumeration measures the physical plan-space growth and
+// Pareto pruning ("a search space of all possible physical plans").
+func BenchmarkE6PlanEnumeration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.SpaceSize), "plans")
+		b.ReportMetric(float64(last.Pruned), "pareto_plans")
+	}
+}
+
+// BenchmarkE7SentinelCalibration measures sample-based estimate
+// sharpening: at full-sample calibration the final cardinality estimate
+// must hit the true 6.
+func BenchmarkE7SentinelCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := rows[len(rows)-1]
+		if full.EstFinalCard < 5.9 || full.EstFinalCard > 6.1 {
+			b.Fatalf("full-sample estimate %.2f, want ~6", full.EstFinalCard)
+		}
+		b.ReportMetric(full.EstFinalCard, "est_card")
+		b.ReportMetric(full.SamplingCost, "sampling_usd")
+	}
+}
+
+// BenchmarkE8ToolRouting measures docstring-driven tool selection with and
+// without usage examples ("providing a few examples ... proved to be the
+// most efficient solution").
+func BenchmarkE8ToolRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.DocWith <= r.DocWithout {
+			b.Fatal("docstring examples did not improve similarity-only routing")
+		}
+		b.ReportMetric(float64(r.DocWith)/float64(r.Cases), "acc_with_examples")
+		b.ReportMetric(float64(r.DocWithout)/float64(r.Cases), "acc_without")
+	}
+}
+
+// BenchmarkAblationConvertStrategy compares bonded vs field-at-a-time
+// conversion (DESIGN.md ablation).
+func BenchmarkAblationConvertStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationConvert()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bonded, fieldwise := rows[0], rows[1]
+		if fieldwise.CostUSD <= bonded.CostUSD {
+			b.Fatal("field-at-a-time not more expensive than bonded")
+		}
+		b.ReportMetric(fieldwise.CostUSD/bonded.CostUSD, "cost_ratio")
+	}
+}
+
+// BenchmarkAblationPrefilter compares an LLM-only filter chain against an
+// embedding pre-filter in front of it (DESIGN.md ablation).
+func BenchmarkAblationPrefilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblationPrefilter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, pre := rows[0], rows[1]
+		if pre.CostUSD >= plain.CostUSD {
+			b.Fatal("prefilter did not reduce cost")
+		}
+		b.ReportMetric(plain.CostUSD-pre.CostUSD, "usd_saved")
+		b.ReportMetric(plain.F1-pre.F1, "F1_lost")
+	}
+}
+
+// BenchmarkAblationParetoPruning isolates enumeration with and without
+// Pareto pruning on the longest E6 pipeline.
+func BenchmarkAblationParetoPruning(b *testing.B) {
+	_, ds, _, err := experiments.BiomedContext(pz.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clinical := experiments.ClinicalSchema()
+	pipeline := ds.
+		Filter("predicate one").Filter("predicate two").Filter("predicate three").
+		Convert(clinical, clinical.Doc(), pz.OneToMany)
+	chain := pipeline.Chain()
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := optimizer.New(optimizer.Options{}).Optimize(chain, optimizer.MaxQuality{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pareto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := optimizer.New(optimizer.Options{Pruning: true}).Optimize(chain, optimizer.MaxQuality{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9Scaling measures cost/runtime growth with library size and
+// the parallel speedup (paper §1: "users face major challenges around
+// runtime cost").
+func BenchmarkE9Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunScale([]int{11, 44})
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, big := rows[0], rows[1]
+		ratio := big.CostUSD / small.CostUSD
+		if ratio < 3.2 || ratio > 4.8 {
+			b.Fatalf("4x corpus cost ratio = %.2f, want ~4", ratio)
+		}
+		if big.RuntimePar8 >= big.RuntimeSeq {
+			b.Fatal("parallelism did not speed up the run")
+		}
+		b.ReportMetric(ratio, "cost_ratio_4x")
+		b.ReportMetric(big.RuntimeSeq.Seconds()/big.RuntimePar8.Seconds(), "par_speedup")
+	}
+}
+
+// BenchmarkMicroLLMFilterCall isolates one simulated filter call.
+func BenchmarkMicroLLMFilterCall(b *testing.B) {
+	_, _, inputs, err := experiments.BiomedContext(pz.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := llm.NewService()
+	req := llm.Request{
+		Model: "atlas-large", Task: llm.TaskFilter,
+		Prompt:    "condition: x\n" + inputs[0].Text(),
+		Record:    inputs[0],
+		Predicate: experiments.DemoPredicate,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Complete(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroEmbed isolates one embedding call.
+func BenchmarkMicroEmbed(b *testing.B) {
+	_, _, inputs, err := experiments.BiomedContext(pz.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := inputs[0].Text()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = llm.EmbedVector(text)
+	}
+}

@@ -1,0 +1,181 @@
+// Command experiments regenerates every reproducible artifact of the
+// PalimpChat paper and prints the paper-vs-measured tables recorded in
+// EXPERIMENTS.md. Run with no arguments; use -only to run a subset:
+//
+//	go run ./cmd/experiments
+//	go run ./cmd/experiments -only e1,e5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e1..e8,ablations); empty = all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+	failed := false
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+		failed = true
+	}
+
+	if run("e1") {
+		fmt.Println("## E1 — Scientific discovery (paper §3, Figure 5)")
+		r, err := experiments.RunE1()
+		if err != nil {
+			fail("e1", err)
+		} else {
+			fmt.Println(r.Table())
+			fmt.Println("Chosen plan:", r.Plan)
+			fmt.Println()
+			fmt.Println("```")
+			fmt.Print(r.Report)
+			fmt.Println("```")
+		}
+		fmt.Println()
+	}
+
+	if run("e2") {
+		fmt.Println("## E2 — Chat pipeline construction (Figures 3-4)")
+		dir, err := os.MkdirTemp("", "palimpchat-e2-")
+		if err != nil {
+			fail("e2", err)
+		} else {
+			defer os.RemoveAll(dir)
+			r, err := experiments.RunE2(dir)
+			if err != nil {
+				fail("e2", err)
+			} else {
+				fmt.Println(r.Table())
+			}
+		}
+		fmt.Println()
+	}
+
+	if run("e3") {
+		fmt.Println("## E3 — Generated pipeline code (Figure 6)")
+		dir, err := os.MkdirTemp("", "palimpchat-e3-")
+		if err != nil {
+			fail("e3", err)
+		} else {
+			defer os.RemoveAll(dir)
+			r, err := experiments.RunE3(dir)
+			if err != nil {
+				fail("e3", err)
+			} else {
+				fmt.Println(r.Table())
+				fmt.Printf("Missing elements: %d/%d\n\n", r.Missing, len(experiments.Figure6Elements))
+				fmt.Println("```python")
+				fmt.Print(r.Code)
+				fmt.Println("```")
+			}
+		}
+		fmt.Println()
+	}
+
+	if run("e4") {
+		fmt.Println("## E4 — Additional demo scenarios (legal discovery, real estate)")
+		legal, err := experiments.RunE4Legal()
+		if err != nil {
+			fail("e4", err)
+		}
+		re, err := experiments.RunE4RealEstate()
+		if err != nil {
+			fail("e4", err)
+		}
+		if legal != nil && re != nil {
+			fmt.Println(experiments.E4Table([]*experiments.E4Result{legal, re}))
+		}
+		fmt.Println()
+	}
+
+	if run("e5") {
+		fmt.Println("## E5 — Optimizer policy sweep (paper §2.1)")
+		rows, err := experiments.RunE5()
+		if err != nil {
+			fail("e5", err)
+		} else {
+			fmt.Println(experiments.E5Table(rows))
+		}
+		fmt.Println()
+	}
+
+	if run("e6") {
+		fmt.Println("## E6 — Physical plan space and Pareto pruning")
+		rows, err := experiments.RunE6()
+		if err != nil {
+			fail("e6", err)
+		} else {
+			fmt.Println(experiments.E6Table(rows))
+		}
+		fmt.Println()
+	}
+
+	if run("e7") {
+		fmt.Println("## E7 — Sentinel (sample-based) calibration")
+		rows, err := experiments.RunE7()
+		if err != nil {
+			fail("e7", err)
+		} else {
+			fmt.Println(experiments.E7Table(rows))
+		}
+		fmt.Println()
+	}
+
+	if run("e8") {
+		fmt.Println("## E8 — Docstring-driven tool routing")
+		r, err := experiments.RunE8()
+		if err != nil {
+			fail("e8", err)
+		} else {
+			fmt.Println(r.Table())
+		}
+		fmt.Println()
+	}
+
+	if run("e9") {
+		fmt.Println("## E9 — Library-size scaling")
+		rows, err := experiments.RunScale([]int{11, 33, 66, 110})
+		if err != nil {
+			fail("e9", err)
+		} else {
+			fmt.Println(experiments.ScaleTable(rows))
+		}
+		fmt.Println()
+	}
+
+	if run("ablations") {
+		fmt.Println("## Ablation — conversion strategy (bonded vs field-at-a-time)")
+		conv, err := experiments.RunAblationConvert()
+		if err != nil {
+			fail("ablations", err)
+		} else {
+			fmt.Println(experiments.AblationConvertTable(conv))
+		}
+		fmt.Println()
+		fmt.Println("## Ablation — embedding pre-filter")
+		pre, err := experiments.RunAblationPrefilter()
+		if err != nil {
+			fail("ablations", err)
+		} else {
+			fmt.Println(experiments.AblationPrefilterTable(pre))
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

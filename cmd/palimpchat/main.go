@@ -1,0 +1,109 @@
+// Command palimpchat is the interactive chat interface to Palimpzest: type
+// natural-language requests, and the Archytas agent builds and runs
+// declarative AI pipelines for you.
+//
+// Usage:
+//
+//	palimpchat [-demo] [-trace] [-parallelism N]
+//
+// With -demo, the paper's scientific-discovery corpus (11 synthetic
+// biomedical papers, 6 embedded public-dataset references) is materialized
+// into a temporary folder and pre-registered as "sigmod-demo", so you can
+// immediately try the paper's session:
+//
+//	> I am interested in papers about colorectal cancer and for these extract the dataset name, description and url
+//	> optimize for maximum quality
+//	> run the pipeline
+//	> how much runtime was needed and how much did the LLM calls cost?
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/palimpchat"
+	"repro/pz"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "materialize and pre-register the paper's demo corpus")
+	trace := flag.Bool("trace", false, "print ReAct Thought/Action/Observation traces")
+	parallelism := flag.Int("parallelism", 4, "max concurrent LLM calls per operator")
+	cache := flag.Bool("cache", true, "memoize LLM responses so re-running a pipeline is free")
+	flag.Parse()
+
+	session, err := palimpchat.NewSession(palimpchat.Options{
+		Config: pz.Config{Parallelism: *parallelism, EnableCache: *cache},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "palimpchat:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("PalimpChat — declarative and interactive AI analytics")
+	fmt.Println("Type a request in natural language; 'help' lists tools; 'quit' exits.")
+
+	if *demo {
+		dir, err := setupDemo(session)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "palimpchat: demo setup:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Demo corpus registered as \"sigmod-demo\" (11 papers in %s).\n", dir)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("\n> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch strings.ToLower(line) {
+		case "":
+			continue
+		case "quit", "exit", "q":
+			fmt.Println("bye")
+			return
+		case "help", "tools", "?":
+			fmt.Print(session.Agent().Toolbox().Describe())
+			continue
+		case "notebook":
+			fmt.Print(session.Notebook().Render())
+			continue
+		}
+		before := len(session.Steps())
+		reply, err := session.Chat(line)
+		if *trace {
+			for _, st := range session.Steps()[before:] {
+				fmt.Print(st)
+			}
+		}
+		if err != nil {
+			fmt.Println("!", err)
+			continue
+		}
+		fmt.Println(reply)
+	}
+}
+
+// setupDemo materializes the paper workload and loads it through the
+// agent's own tool (so the notebook records the step).
+func setupDemo(s *palimpchat.Session) (string, error) {
+	dir := filepath.Join(os.TempDir(), "palimpchat-demo")
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	if _, err := dataset.MaterializeCorpus("sigmod-demo", dir, docs); err != nil {
+		return "", err
+	}
+	_, err := s.Agent().Invoke("load_dataset", map[string]any{
+		"path": dir, "name": "sigmod-demo",
+	})
+	return dir, err
+}

@@ -1,0 +1,196 @@
+// Command pzrun executes a declarative Palimpzest pipeline described in a
+// JSON spec file — the expert, non-chat path into the same engine.
+//
+// Usage:
+//
+//	pzrun -spec pipeline.json [-policy max-quality] [-param 0] [-records 10]
+//
+// Spec format:
+//
+//	{
+//	  "dataset": {"name": "papers", "dir": "./pdfs"},
+//	  "ops": [
+//	    {"op": "filter", "predicate": "The papers are about colorectal cancer"},
+//	    {"op": "convert", "schema": "ClinicalData",
+//	     "doc": "Datasets referenced by papers.",
+//	     "fields": ["name", "description", "url"],
+//	     "descriptions": ["Dataset name", "Short description", "Public URL"],
+//	     "cardinality": "one_to_many"},
+//	    {"op": "limit", "n": 10}
+//	  ]
+//	}
+//
+// Supported ops: filter, convert, project, limit, distinct, aggregate,
+// groupby, sort, retrieve.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/pz"
+)
+
+type spec struct {
+	Dataset struct {
+		Name string `json:"name"`
+		Dir  string `json:"dir"`
+	} `json:"dataset"`
+	Ops []opSpec `json:"ops"`
+}
+
+type opSpec struct {
+	Op           string   `json:"op"`
+	Predicate    string   `json:"predicate"`
+	Schema       string   `json:"schema"`
+	Doc          string   `json:"doc"`
+	Fields       []string `json:"fields"`
+	Descriptions []string `json:"descriptions"`
+	Cardinality  string   `json:"cardinality"`
+	N            int      `json:"n"`
+	K            int      `json:"k"`
+	Query        string   `json:"query"`
+	Field        string   `json:"field"`
+	Func         string   `json:"func"`
+	Keys         []string `json:"keys"`
+	Descending   bool     `json:"descending"`
+}
+
+func main() {
+	specPath := flag.String("spec", "", "pipeline spec JSON file (required)")
+	policyName := flag.String("policy", "max-quality", "optimization policy")
+	param := flag.Float64("param", 0, "parameter for constrained policies")
+	maxRecords := flag.Int("records", 10, "output records to display")
+	parallelism := flag.Int("parallelism", 4, "max concurrent LLM calls per operator")
+	sample := flag.Int("sample", 0, "sentinel calibration sample size")
+	flag.Parse()
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*specPath, *policyName, *param, *maxRecords, *parallelism, *sample); err != nil {
+		fmt.Fprintln(os.Stderr, "pzrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath, policyName string, param float64, maxRecords, parallelism, sample int) error {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	var sp spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return fmt.Errorf("parse %s: %w", specPath, err)
+	}
+	if sp.Dataset.Dir == "" {
+		return fmt.Errorf("spec needs dataset.dir")
+	}
+	if sp.Dataset.Name == "" {
+		sp.Dataset.Name = "dataset"
+	}
+
+	ctx, err := pz.NewContext(pz.Config{Parallelism: parallelism, SampleSize: sample})
+	if err != nil {
+		return err
+	}
+	if _, err := ctx.RegisterDir(sp.Dataset.Name, sp.Dataset.Dir); err != nil {
+		return err
+	}
+	ds, err := ctx.Dataset(sp.Dataset.Name)
+	if err != nil {
+		return err
+	}
+	for i, op := range sp.Ops {
+		ds, err = applyOp(ds, op)
+		if err != nil {
+			return fmt.Errorf("op %d (%s): %w", i, op.Op, err)
+		}
+	}
+	policy, err := pz.ParsePolicy(policyName, param)
+	if err != nil {
+		return err
+	}
+	fmt.Println("logical plan:")
+	fmt.Println(indent(ds.Describe()))
+	res, err := ctx.Execute(ds, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(res.Report(maxRecords))
+	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func applyOp(ds *pz.Dataset, op opSpec) (*pz.Dataset, error) {
+	switch strings.ToLower(op.Op) {
+	case "filter":
+		return ds.Filter(op.Predicate), nil
+	case "convert":
+		name := op.Schema
+		if name == "" {
+			name = "Extracted"
+		}
+		sc, err := pz.DeriveSchema(name, op.Doc, op.Fields, op.Descriptions)
+		if err != nil {
+			return nil, err
+		}
+		card := pz.OneToOne
+		if strings.EqualFold(op.Cardinality, "one_to_many") {
+			card = pz.OneToMany
+		}
+		return ds.Convert(sc, sc.Doc(), card), nil
+	case "project":
+		return ds.Project(op.Fields...), nil
+	case "limit":
+		return ds.Limit(op.N), nil
+	case "distinct":
+		return ds.Distinct(op.Fields...), nil
+	case "aggregate":
+		f, err := parseAgg(op.Func)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Aggregate(f, op.Field), nil
+	case "groupby":
+		f, err := parseAgg(op.Func)
+		if err != nil {
+			return nil, err
+		}
+		return ds.GroupBy(op.Keys, f, op.Field), nil
+	case "sort":
+		return ds.Sort(op.Field, op.Descending), nil
+	case "retrieve":
+		return ds.Retrieve(op.Query, op.K), nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", op.Op)
+	}
+}
+
+func parseAgg(name string) (pz.AggFunc, error) {
+	switch strings.ToLower(name) {
+	case "count", "":
+		return pz.Count, nil
+	case "sum":
+		return pz.Sum, nil
+	case "avg", "average", "mean":
+		return pz.Avg, nil
+	case "min":
+		return pz.Min, nil
+	case "max":
+		return pz.Max, nil
+	default:
+		return pz.Count, fmt.Errorf("unknown aggregate %q", name)
+	}
+}

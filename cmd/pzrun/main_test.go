@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/pz"
+)
+
+func writeSpec(t *testing.T, dir, spec string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(p, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func demoCorpusDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	if _, err := dataset.MaterializeCorpus("papers", dir, docs); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDemoSpec(t *testing.T) {
+	dir := demoCorpusDir(t)
+	spec := `{
+	  "dataset": {"name": "papers", "dir": "` + dir + `"},
+	  "ops": [
+	    {"op": "filter", "predicate": "The papers are about colorectal cancer"},
+	    {"op": "convert", "schema": "ClinicalData",
+	     "doc": "Datasets referenced by papers.",
+	     "fields": ["name", "description", "url"],
+	     "descriptions": ["Dataset name", "Short description", "Public URL"],
+	     "cardinality": "one_to_many"},
+	    {"op": "sort", "field": "name"},
+	    {"op": "limit", "n": 10}
+	  ]
+	}`
+	if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecAllRelationalOps(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus.GenerateRealEstate(corpus.RealEstateConfig{NumListings: 20, ModernRate: 0.5, Seed: 3})
+	if _, err := dataset.MaterializeCorpus("listings", dir, docs); err != nil {
+		t.Fatal(err)
+	}
+	spec := `{
+	  "dataset": {"name": "listings", "dir": "` + dir + `"},
+	  "ops": [
+	    {"op": "retrieve", "query": "modern kitchen", "k": 10},
+	    {"op": "convert", "schema": "Listing", "doc": "A listing.",
+	     "fields": ["neighborhood", "price:float"],
+	     "descriptions": ["The neighborhood", "The price in dollars"]},
+	    {"op": "groupby", "keys": ["neighborhood"], "func": "avg", "field": "price"},
+	    {"op": "sort", "field": "value", "descending": true},
+	    {"op": "distinct", "fields": ["neighborhood"]},
+	    {"op": "project", "fields": ["neighborhood", "value"]},
+	    {"op": "limit", "n": 3}
+	  ]
+	}`
+	if err := run(writeSpec(t, dir, spec), "min-cost", 0, 5, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecErrors(t *testing.T) {
+	dir := demoCorpusDir(t)
+	cases := map[string]string{
+		"bad json":    `{not json`,
+		"missing dir": `{"dataset": {"name": "x"}, "ops": []}`,
+		"unknown op":  `{"dataset": {"name": "x", "dir": "` + dir + `"}, "ops": [{"op": "frobnicate"}]}`,
+		"bad agg":     `{"dataset": {"name": "x", "dir": "` + dir + `"}, "ops": [{"op": "aggregate", "func": "median"}]}`,
+	}
+	for name, spec := range cases {
+		if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 1, 0); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := run("/nonexistent/spec.json", "max-quality", 0, 3, 1, 0); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	if err := run(writeSpec(t, dir, `{"dataset": {"name": "p", "dir": "`+dir+`"}, "ops": []}`), "bogus-policy", 0, 3, 1, 0); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestParseAgg(t *testing.T) {
+	for name, want := range map[string]pz.AggFunc{
+		"count": pz.Count, "": pz.Count, "sum": pz.Sum,
+		"avg": pz.Avg, "mean": pz.Avg, "min": pz.Min, "max": pz.Max,
+	} {
+		got, err := parseAgg(name)
+		if err != nil || got != want {
+			t.Errorf("parseAgg(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseAgg("median"); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+}

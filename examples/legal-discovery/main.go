@@ -1,0 +1,84 @@
+// Legal discovery: one of the paper's three demo scenarios.
+//
+// A legal team screens a contract collection for indemnification clauses
+// and extracts the parties and effective dates — half through the chat
+// interface, half through the programmatic API, showing how "expert users
+// can either further iterate on the code produced using the chat
+// interface, or program their pipelines directly within Palimpzest".
+//
+//	go run ./examples/legal-discovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/palimpchat"
+	"repro/pz"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "palimpchat-legal")
+	docs := corpus.GenerateLegal(corpus.DefaultLegal())
+	if _, err := dataset.MaterializeCorpus("contracts", dir, docs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1 — non-expert path: chat.
+	fmt.Println("=== via chat ===")
+	session, err := palimpchat.NewSession(palimpchat.Options{
+		Config: pz.Config{Parallelism: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []string{
+		"load the contracts from " + dir + " as contracts",
+		"keep only contracts that contain an indemnification clause",
+		"extract the party_a, party_b and effective_date",
+		"minimize the cost no matter the quality",
+		"run the pipeline",
+	} {
+		fmt.Printf("\n> %s\n", u)
+		reply, err := session.Chat(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(reply)
+	}
+
+	// Part 2 — expert path: the same pipeline in code, max quality.
+	fmt.Println("\n=== via the pz API (expert iteration) ===")
+	ctx, err := pz.NewContext(pz.Config{Parallelism: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ctx.RegisterDir("contracts", dir); err != nil {
+		log.Fatal(err)
+	}
+	parties, err := pz.DeriveSchema("ContractParties",
+		"Parties and effective date of a contract.",
+		[]string{"party_a", "party_b", "effective_date"},
+		[]string{
+			"The first party to the agreement",
+			"The second party to the agreement",
+			"The effective date of the agreement (YYYY-MM-DD)",
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, _ := ctx.Dataset("contracts")
+	pipeline := ds.
+		Filter("The contract contains an indemnification clause").
+		Convert(parties, parties.Doc(), pz.OneToOne).
+		Sort("effective_date", false)
+	res, err := ctx.Execute(pipeline, pz.MaxQuality())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report(8))
+}

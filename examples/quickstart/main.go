@@ -1,0 +1,72 @@
+// Quickstart: the smallest useful Palimpzest pipeline.
+//
+// It generates the paper's demo corpus (11 synthetic biomedical papers),
+// registers it as a dataset, filters with a natural-language predicate,
+// extracts structured records with a dynamically-derived schema, and
+// executes under the max-quality policy — the programmatic equivalent of
+// the paper's Figure 6.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/pz"
+)
+
+func main() {
+	ctx, err := pz.NewContext(pz.Config{Parallelism: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register the demo corpus (in a real deployment: ctx.RegisterDir).
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	if _, err := ctx.RegisterDocs("sigmod-demo", pz.PDFFile, docs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Derive the extraction schema from names + descriptions (Figure 2).
+	clinical, err := pz.DeriveSchema("ClinicalData",
+		"A schema for extracting clinical data datasets from papers.",
+		[]string{"name", "description", "url"},
+		[]string{
+			"The name of the clinical data dataset",
+			"A short description of the content of the dataset",
+			"The public URL where the dataset can be accessed",
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the logical pipeline (Figure 6).
+	ds, err := ctx.Dataset("sigmod-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline := ds.
+		Filter("The papers are about colorectal cancer").
+		Convert(clinical, clinical.Doc(), pz.OneToMany)
+
+	// Execute under a policy; the optimizer picks the physical plan.
+	res, err := ctx.Execute(pipeline, pz.MaxQuality())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report(10))
+
+	fmt.Println("\nSame pipeline, cheapest plan:")
+	ds2, _ := ctx.Dataset("sigmod-demo")
+	cheap, err := ctx.Execute(ds2.
+		Filter("The papers are about colorectal cancer").
+		Convert(clinical, clinical.Doc(), pz.OneToMany),
+		pz.MinCost())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min-cost plan %s produced %d records for $%.4f\n",
+		cheap.Plan, len(cheap.Records), cheap.CostUSD)
+}

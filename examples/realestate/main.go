@@ -1,0 +1,64 @@
+// Real-estate search: one of the paper's three demo scenarios.
+//
+// A home buyer wants modern, recently renovated listings; the pipeline
+// combines semantic retrieval (vector search over embeddings), an LLM
+// filter, structured extraction, and conventional relational analytics
+// (group-by average price per neighborhood) — the mixed LLM + relational
+// workload the paper's introduction motivates.
+//
+//	go run ./examples/realestate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/pz"
+)
+
+func main() {
+	ctx, err := pz.NewContext(pz.Config{Parallelism: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := corpus.GenerateRealEstate(corpus.DefaultRealEstate())
+	if _, err := ctx.RegisterDocs("listings", pz.TextFile, docs); err != nil {
+		log.Fatal(err)
+	}
+
+	listing, err := pz.NewSchema("Listing", "A real estate listing.",
+		pz.Field{Name: "address", Type: pz.String, Desc: "The street address of the listing"},
+		pz.Field{Name: "neighborhood", Type: pz.String, Desc: "The neighborhood of the listing"},
+		pz.Field{Name: "price", Type: pz.Float, Desc: "The asking price in dollars"},
+		pz.Field{Name: "bedrooms", Type: pz.Int, Desc: "The number of bedrooms"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ds, _ := ctx.Dataset("listings")
+
+	// 1. Shortlist the most relevant listings with vector retrieval.
+	// 2. Confirm modernity with an LLM filter.
+	// 3. Extract structure, then answer with plain relational analytics.
+	pipeline := ds.
+		Retrieve("modern renovated kitchen with designer finishes and smart home features", 30).
+		Filter("The listing has a modern, recently renovated interior").
+		Convert(listing, listing.Doc(), pz.OneToOne).
+		GroupBy([]string{"neighborhood"}, pz.Avg, "price").
+		Sort("value", true).
+		Limit(5)
+
+	res, err := ctx.Execute(pipeline, pz.MaxQualityAtCost(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top neighborhoods by average price of modern listings:")
+	for i, r := range res.Records {
+		fmt.Printf("%d. %-16s avg $%.0f over %d listings\n",
+			i+1, r.GetString("neighborhood"), r.GetFloat("value"), r.GetInt("count"))
+	}
+	fmt.Printf("\nplan: %s\nsimulated runtime %s, cost $%.4f (budget $0.25)\n",
+		res.Plan, res.Elapsed.Round(1e9), res.CostUSD)
+}

@@ -1,0 +1,62 @@
+// Scientific discovery through chat: the paper's §3 demonstration, scripted.
+//
+// A medical researcher uploads a library of papers, asks in natural
+// language for the colorectal-cancer studies and their public datasets,
+// picks an optimization goal, runs the pipeline, inspects statistics, and
+// exports the generated code — exactly the Figure 3-6 flow.
+//
+//	go run ./examples/scientific-discovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/palimpchat"
+	"repro/pz"
+)
+
+func main() {
+	// Materialize the demo library: 11 synthetic papers as simulated PDFs.
+	dir := filepath.Join(os.TempDir(), "palimpchat-scidisc")
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	if _, err := dataset.MaterializeCorpus("sigmod-demo", dir, docs); err != nil {
+		log.Fatal(err)
+	}
+
+	session, err := palimpchat.NewSession(palimpchat.Options{
+		Config: pz.Config{Parallelism: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conversation := []string{
+		"load the papers from " + dir + " as sigmod-demo",
+		"I am interested in papers about colorectal cancer and for these extract the dataset name, description and url",
+		"optimize for maximum quality",
+		"run the pipeline",
+		"how much runtime was needed and how much did the LLM calls cost?",
+		"show me the extracted records",
+		"show me the code for the pipeline",
+	}
+	for _, utterance := range conversation {
+		fmt.Printf("\n> %s\n", utterance)
+		reply, err := session.Chat(utterance)
+		if err != nil {
+			log.Fatalf("chat failed: %v", err)
+		}
+		fmt.Println(reply)
+	}
+
+	// Export the session notebook, as the demo's final step.
+	out := filepath.Join(dir, "session.ipynb")
+	if err := session.SaveNotebook(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnotebook exported to %s (%d cells)\n", out, session.Notebook().Len())
+}

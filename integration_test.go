@@ -1,0 +1,221 @@
+// Top-level integration tests: the paper's headline numbers, cross-run
+// determinism, the full experiment harness, and the no-ground-truth path a
+// conference attendee's own uploaded data takes.
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/palimpchat"
+	"repro/pz"
+)
+
+// TestPaperHeadlineNumbers asserts the §3 reproduction invariants that
+// EXPERIMENTS.md records: 6 datasets from 11 papers, runtime and cost in
+// the paper's magnitude, perfect extraction F1 under max quality.
+func TestPaperHeadlineNumbers(t *testing.T) {
+	r, err := experiments.RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InputPapers != 11 || r.OutputDatasets != 6 {
+		t.Errorf("papers/datasets = %d/%d, want 11/6", r.InputPapers, r.OutputDatasets)
+	}
+	if s := r.Runtime.Seconds(); s < 120 || s > 480 {
+		t.Errorf("runtime %.0fs outside [120,480] (paper ~240s)", s)
+	}
+	if r.CostUSD < 0.15 || r.CostUSD > 0.70 {
+		t.Errorf("cost $%.2f outside [0.15,0.70] (paper ~$0.35)", r.CostUSD)
+	}
+	if r.ExtractionF1 != 1.0 {
+		t.Errorf("extraction F1 = %.3f, want 1.0", r.ExtractionF1)
+	}
+}
+
+// TestFullRunDeterminism: two complete executions produce identical
+// headline numbers (the repo's reproducibility claim).
+func TestFullRunDeterminism(t *testing.T) {
+	a, err := experiments.RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OutputDatasets != b.OutputDatasets || a.CostUSD != b.CostUSD ||
+		a.Runtime != b.Runtime || a.Plan != b.Plan {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestPolicySweepShape asserts E5's qualitative claims: the plan changes
+// with the policy, quality costs money, constrained policies respect their
+// budgets.
+func TestPolicySweepShape(t *testing.T) {
+	rows, err := experiments.RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]experiments.E5Row{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	q, c := byPolicy["max-quality"], byPolicy["min-cost"]
+	if q.Plan == c.Plan {
+		t.Error("policy did not change the physical plan")
+	}
+	if q.MeasCost <= c.MeasCost || q.ExtractionF1 <= c.ExtractionF1 {
+		t.Errorf("quality/cost trade-off inverted: %+v vs %+v", q, c)
+	}
+	if bc := byPolicy["quality-at-cost"]; bc.MeasCost > 0.10 || bc.Violated {
+		t.Errorf("cost-budget policy violated budget: %+v", bc)
+	}
+	if bt := byPolicy["quality-at-time"]; bt.MeasTime.Seconds() > 60 || bt.Violated {
+		t.Errorf("time-cap policy exceeded cap: %+v", bt)
+	}
+	if fq := byPolicy["cost-at-quality"]; fq.EstQuality < 0.80 {
+		t.Errorf("quality-floor policy below floor: %+v", fq)
+	}
+}
+
+// TestE8ExamplesHelpRouting asserts the paper's docstring-examples claim.
+func TestE8ExamplesHelpRouting(t *testing.T) {
+	r, err := experiments.RunE8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DocWith != r.Cases {
+		t.Errorf("with examples: %d/%d", r.DocWith, r.Cases)
+	}
+	if r.DocWithout >= r.DocWith {
+		t.Errorf("examples did not help: %d vs %d", r.DocWithout, r.DocWith)
+	}
+}
+
+// TestUserUploadedDataWithoutGroundTruth exercises the fallback path: a
+// folder of plain files with no sidecar annotations (what a SIGMOD
+// attendee's own dataset looks like) still flows through chat, the
+// optimizer, and heuristic extraction.
+func TestUserUploadedDataWithoutGroundTruth(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"note1.txt": "Colorectal cancer screening notes.\nCohort data at https://example.org/cohort1 for download.",
+		"note2.txt": "Gardening tips for spring.\nPlant tomatoes after the last frost.",
+		"note3.txt": "A colorectal cancer trial summary.\nResults table at https://example.org/trial-results.",
+	}
+	for name, text := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := palimpchat.NewSession(palimpchat.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{
+		"load the notes from " + dir + " as mynotes",
+		"filter for notes about colorectal cancer",
+		"extract the dataset name, description and url",
+		"run the pipeline",
+	} {
+		if _, err := s.Chat(u); err != nil {
+			t.Fatalf("chat %q: %v", u, err)
+		}
+	}
+	res := s.LastResult()
+	if res == nil {
+		t.Fatal("no result")
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("heuristic pipeline produced %d records, want 2 (one per cancer note URL)", len(res.Records))
+	}
+	urls := map[string]bool{}
+	for _, r := range res.Records {
+		urls[r.GetString("url")] = true
+	}
+	if !urls["https://example.org/cohort1"] || !urls["https://example.org/trial-results"] {
+		t.Errorf("heuristic extraction missed URLs: %v", urls)
+	}
+}
+
+// TestExperimentsHarnessSmoke runs the remaining harness entry points so a
+// regression in any experiment fails the suite, not just the benches.
+func TestExperimentsHarnessSmoke(t *testing.T) {
+	if r, err := experiments.RunE2(t.TempDir()); err != nil || r.OutputDatasets != 6 {
+		t.Errorf("E2: %v, %+v", err, r)
+	}
+	if r, err := experiments.RunE3(t.TempDir()); err != nil || r.Missing != 0 {
+		t.Errorf("E3: %v, missing=%d", err, r.Missing)
+	}
+	if r, err := experiments.RunE4Legal(); err != nil || r.Outputs == 0 {
+		t.Errorf("E4 legal: %v, %+v", err, r)
+	}
+	if r, err := experiments.RunE4RealEstate(); err != nil || r.Outputs == 0 {
+		t.Errorf("E4 real estate: %v, %+v", err, r)
+	}
+	rows, err := experiments.RunE6()
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("E6: %v", err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SpaceSize <= rows[i-1].SpaceSize {
+			t.Error("plan space not growing with pipeline length")
+		}
+		if rows[i].Pruned >= rows[i].SpaceSize {
+			t.Error("pruning ineffective")
+		}
+	}
+	e7, err := experiments.RunE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := e7[len(e7)-1]
+	if full.SampleSize != 11 || full.EstFinalCard < 5.9 || full.EstFinalCard > 6.1 {
+		t.Errorf("E7 full-sample estimate: %+v", full)
+	}
+	conv, err := experiments.RunAblationConvert()
+	if err != nil || len(conv) != 2 || conv[1].CostUSD <= conv[0].CostUSD {
+		t.Errorf("convert ablation: %v, %+v", err, conv)
+	}
+	pre, err := experiments.RunAblationPrefilter()
+	if err != nil || len(pre) != 2 || pre[1].CostUSD >= pre[0].CostUSD {
+		t.Errorf("prefilter ablation: %v, %+v", err, pre)
+	}
+}
+
+// TestChatAndAPIPipelinesAgree: the chat-built pipeline and the hand-built
+// pz pipeline produce the same outputs on the same corpus.
+func TestChatAndAPIPipelinesAgree(t *testing.T) {
+	// API path.
+	ctx, ds, _, err := experiments.BiomedContext(pz.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiRes, err := ctx.Execute(experiments.DemoPipeline(ds), pz.MaxQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chat path.
+	chat, err := experiments.RunE2(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apiRes.Records) != chat.OutputDatasets {
+		t.Errorf("API %d records vs chat %d", len(apiRes.Records), chat.OutputDatasets)
+	}
+	apiURLs := map[string]bool{}
+	for _, r := range apiRes.Records {
+		apiURLs[r.GetString("url")] = true
+	}
+	if len(apiURLs) != 6 {
+		t.Errorf("API urls = %d", len(apiURLs))
+	}
+	if !strings.Contains(chat.Transcript, "user>") {
+		t.Error("chat transcript empty")
+	}
+}

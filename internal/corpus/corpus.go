@@ -1,0 +1,139 @@
+// Package corpus generates the synthetic, ground-truthed document
+// collections that stand in for the paper's demo datasets: biomedical
+// papers (the §3 scientific-discovery scenario), legal contracts (legal
+// discovery), and real-estate listings (real-estate search).
+//
+// Every generated record carries hidden ground-truth annotations (topic
+// labels, extractable entity mentions, scalar fields). The simulated LLM in
+// internal/llm reads these through its oracle to decide answers, and the
+// metrics package scores pipeline outputs against them. Generation is fully
+// deterministic given a seed, so experiments and golden tests are
+// reproducible.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Truth is the hidden ground-truth annotation attached to a generated
+// document. It is stored on records under the "gt" truth key.
+type Truth struct {
+	// Topics are the subjects this document is genuinely about, e.g.
+	// ["colorectal cancer", "gene mutation"].
+	Topics []string
+	// Mentions are extractable entities embedded in the text, e.g. public
+	// dataset references. Kind discriminates entity families.
+	Mentions []Mention
+	// Labels are named boolean properties ("indemnification": true).
+	Labels map[string]bool
+	// Fields are scalar extractable string attributes ("party_a": "...").
+	Fields map[string]string
+	// Numbers are numeric attributes ("price": 650000).
+	Numbers map[string]float64
+}
+
+// Mention is one extractable entity with named attributes.
+type Mention struct {
+	Kind   string
+	Fields map[string]string
+}
+
+// TruthKey is the record truth-annotation key under which a *Truth is
+// stored.
+const TruthKey = "gt"
+
+// Doc is one generated document before it is wrapped in a record: a
+// filename, full text, and its ground truth.
+type Doc struct {
+	Filename string
+	Text     string
+	Truth    *Truth
+}
+
+// HasTopic reports whether the document is about a topic whose name shares
+// terms with the query (case-insensitive substring either way).
+func (t *Truth) HasTopic(query string) bool {
+	q := strings.ToLower(strings.TrimSpace(query))
+	for _, topic := range t.Topics {
+		tl := strings.ToLower(topic)
+		if strings.Contains(q, tl) || strings.Contains(tl, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// MentionsOfKind returns the mentions of the given kind.
+func (t *Truth) MentionsOfKind(kind string) []Mention {
+	var out []Mention
+	for _, m := range t.Mentions {
+		if m.Kind == kind {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// pick returns a random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// shuffled returns a shuffled copy of xs.
+func shuffled[T any](rng *rand.Rand, xs []T) []T {
+	out := make([]T, len(xs))
+	copy(out, xs)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// sentenceJoin joins sentences with spaces and ensures terminal periods.
+func sentenceJoin(ss ...string) string {
+	var b strings.Builder
+	for i, s := range ss {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(s)
+		if !strings.HasSuffix(s, ".") && !strings.HasSuffix(s, "!") && !strings.HasSuffix(s, "?") {
+			b.WriteString(".")
+		}
+	}
+	return b.String()
+}
+
+// slugify converts a title into a filename stem.
+func slugify(s string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteRune('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// fmtUSD renders a dollar amount with thousands separators.
+func fmtUSD(v float64) string {
+	n := int64(v)
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return "$" + strings.Join(parts, ",")
+}

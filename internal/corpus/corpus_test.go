@@ -1,0 +1,271 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/pdfsim"
+	"repro/internal/schema"
+)
+
+func TestPaperDemoBiomedShape(t *testing.T) {
+	cfg := PaperDemoBiomed()
+	docs := GenerateBiomed(cfg)
+	if len(docs) != 11 {
+		t.Fatalf("papers = %d, want 11", len(docs))
+	}
+	relevant, datasets := 0, 0
+	urls := map[string]bool{}
+	for _, d := range docs {
+		if d.Truth.HasTopic(ColorectalTopic) {
+			relevant++
+		}
+		for _, m := range d.Truth.MentionsOfKind(DatasetMentionKind) {
+			datasets++
+			urls[m.Fields["url"]] = true
+			// Every mention must be visible in the document text: the
+			// pipeline has to be able to extract it.
+			if !strings.Contains(d.Text, m.Fields["name"]) || !strings.Contains(d.Text, m.Fields["url"]) {
+				t.Errorf("mention %q not embedded in text of %s", m.Fields["name"], d.Filename)
+			}
+		}
+	}
+	if relevant != cfg.NumRelevant {
+		t.Errorf("relevant papers = %d, want %d", relevant, cfg.NumRelevant)
+	}
+	if datasets != 6 {
+		t.Errorf("dataset mentions = %d, want 6 (the paper's reported count)", datasets)
+	}
+	if len(urls) != 6 {
+		t.Errorf("distinct urls = %d, want 6", len(urls))
+	}
+}
+
+func TestBiomedDeterministic(t *testing.T) {
+	a := GenerateBiomed(PaperDemoBiomed())
+	b := GenerateBiomed(PaperDemoBiomed())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Filename != b[i].Filename || a[i].Text != b[i].Text {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+}
+
+func TestBiomedSeedChangesOutput(t *testing.T) {
+	cfg := PaperDemoBiomed()
+	cfg2 := cfg
+	cfg2.Seed = 99
+	a, b := GenerateBiomed(cfg), GenerateBiomed(cfg2)
+	same := true
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestBiomedIrrelevantHaveNoDatasets(t *testing.T) {
+	for _, d := range GenerateBiomed(PaperDemoBiomed()) {
+		if !d.Truth.HasTopic(ColorectalTopic) {
+			if len(d.Truth.MentionsOfKind(DatasetMentionKind)) != 0 {
+				t.Errorf("irrelevant paper %s has dataset mentions", d.Filename)
+			}
+			if d.Truth.Labels["colorectal"] {
+				t.Errorf("irrelevant paper %s labeled colorectal", d.Filename)
+			}
+		}
+	}
+}
+
+func TestBiomedEdgeConfigs(t *testing.T) {
+	if docs := GenerateBiomed(BiomedConfig{}); docs != nil {
+		t.Errorf("zero papers should give nil, got %d", len(docs))
+	}
+	docs := GenerateBiomed(BiomedConfig{NumPapers: 2, NumRelevant: 5, NumDatasets: 100, Seed: 1})
+	if len(docs) != 2 {
+		t.Fatalf("clamped papers = %d", len(docs))
+	}
+}
+
+func TestGenerateLegalShape(t *testing.T) {
+	cfg := DefaultLegal()
+	docs := GenerateLegal(cfg)
+	if len(docs) != 40 {
+		t.Fatalf("contracts = %d, want 40", len(docs))
+	}
+	indem := 0
+	for _, d := range docs {
+		if d.Truth.Labels[IndemnificationLabel] {
+			indem++
+			if !strings.Contains(d.Text, "Indemnification") {
+				t.Errorf("%s labeled indemnification but clause missing from text", d.Filename)
+			}
+		} else if strings.Contains(d.Text, "Indemnification") {
+			t.Errorf("%s has clause but label false", d.Filename)
+		}
+		for _, k := range []string{"party_a", "party_b", "effective_date"} {
+			v := d.Truth.Fields[k]
+			if v == "" || !strings.Contains(d.Text, v) {
+				t.Errorf("%s: ground-truth field %s=%q not in text", d.Filename, k, v)
+			}
+		}
+	}
+	if want := 16; indem != want {
+		t.Errorf("indemnification contracts = %d, want %d (40 * 0.4)", indem, want)
+	}
+}
+
+func TestGenerateRealEstateShape(t *testing.T) {
+	cfg := DefaultRealEstate()
+	docs := GenerateRealEstate(cfg)
+	if len(docs) != 120 {
+		t.Fatalf("listings = %d, want 120", len(docs))
+	}
+	modern := 0
+	for _, d := range docs {
+		if d.Truth.Labels[ModernLabel] {
+			modern++
+		}
+		if d.Truth.Numbers["price"] <= 0 || d.Truth.Numbers["bedrooms"] <= 0 {
+			t.Errorf("%s: bad numbers %v", d.Filename, d.Truth.Numbers)
+		}
+		if !strings.Contains(d.Text, d.Truth.Fields["address"]) {
+			t.Errorf("%s: address not in text", d.Filename)
+		}
+	}
+	if want := 42; modern != want {
+		t.Errorf("modern listings = %d, want %d (120 * 0.35)", modern, want)
+	}
+}
+
+func TestModernListingsCostMore(t *testing.T) {
+	docs := GenerateRealEstate(DefaultRealEstate())
+	var modSum, modN, oldSum, oldN float64
+	for _, d := range docs {
+		if d.Truth.Labels[ModernLabel] {
+			modSum += d.Truth.Numbers["price"]
+			modN++
+		} else {
+			oldSum += d.Truth.Numbers["price"]
+			oldN++
+		}
+	}
+	if modSum/modN <= oldSum/oldN {
+		t.Errorf("modern mean %.0f <= dated mean %.0f", modSum/modN, oldSum/oldN)
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	docs := GenerateBiomed(BiomedConfig{NumPapers: 3, NumRelevant: 1, NumDatasets: 2, Seed: 5})
+	paths, err := WriteFiles(dir, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pdfsim.IsPDF(data) {
+		t.Error(".pdf file not in simulated PDF container")
+	}
+	text, err := pdfsim.ExtractText(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "Abstract") {
+		t.Errorf("extracted text lost content: %q", text[:60])
+	}
+	// Text corpora are written verbatim.
+	legal, err := WriteFiles(dir, GenerateLegal(LegalConfig{NumContracts: 1, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(legal[0])
+	if pdfsim.IsPDF(raw) {
+		t.Error(".txt contract wrapped as PDF")
+	}
+	if filepath.Ext(legal[0]) != ".txt" {
+		t.Errorf("contract extension = %s", filepath.Ext(legal[0]))
+	}
+}
+
+func TestRecordsAndTruthOf(t *testing.T) {
+	docs := GenerateBiomed(BiomedConfig{NumPapers: 2, NumRelevant: 1, NumDatasets: 1, Seed: 9})
+	recs, err := Records(docs, schema.PDFFile, "demo-src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Source() != "demo-src" {
+			t.Errorf("source = %q", r.Source())
+		}
+		gt := TruthOf(r)
+		if gt == nil {
+			t.Fatalf("record %d lost ground truth", i)
+		}
+		if gt != docs[i].Truth {
+			t.Errorf("record %d truth mismatch", i)
+		}
+		if r.GetString("contents") != docs[i].Text {
+			t.Errorf("record %d contents mismatch", i)
+		}
+	}
+}
+
+func TestTruthHelpers(t *testing.T) {
+	tr := &Truth{
+		Topics: []string{"colorectal cancer", "gene mutation"},
+		Mentions: []Mention{
+			{Kind: "dataset", Fields: map[string]string{"name": "A"}},
+			{Kind: "clause", Fields: map[string]string{"name": "B"}},
+		},
+	}
+	if !tr.HasTopic("papers about COLORECTAL CANCER") {
+		t.Error("HasTopic should match query containing topic")
+	}
+	if !tr.HasTopic("cancer") {
+		t.Error("HasTopic should match topic containing query")
+	}
+	if tr.HasTopic("real estate") {
+		t.Error("HasTopic false positive")
+	}
+	if got := tr.MentionsOfKind("dataset"); len(got) != 1 || got[0].Fields["name"] != "A" {
+		t.Errorf("MentionsOfKind = %v", got)
+	}
+}
+
+func TestFmtUSD(t *testing.T) {
+	cases := map[float64]string{
+		999:     "$999",
+		1000:    "$1,000",
+		650000:  "$650,000",
+		1234567: "$1,234,567",
+	}
+	for in, want := range cases {
+		if got := fmtUSD(in); got != want {
+			t.Errorf("fmtUSD(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	if got := slugify("KRAS mutation landscapes!"); got != "kras-mutation-landscapes" {
+		t.Errorf("slugify = %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// LegalConfig controls the legal-contracts generator used by the paper's
+// legal-discovery demo scenario.
+type LegalConfig struct {
+	// NumContracts is the collection size.
+	NumContracts int
+	// IndemnificationRate is the fraction of contracts containing an
+	// indemnification clause (the scenario's filter target).
+	IndemnificationRate float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultLegal returns the legal-discovery workload used by examples and
+// benches: 40 contracts, 40% with indemnification clauses.
+func DefaultLegal() LegalConfig {
+	return LegalConfig{NumContracts: 40, IndemnificationRate: 0.4, Seed: 7}
+}
+
+// IndemnificationLabel is the ground-truth boolean label set on contracts
+// that contain an indemnification clause.
+const IndemnificationLabel = "indemnification"
+
+// ClauseMentionKind is the Mention.Kind for contract clauses.
+const ClauseMentionKind = "clause"
+
+var companyA = []string{
+	"Acme Logistics LLC", "Borealis Software Inc", "Cobalt Manufacturing Corp",
+	"Delta Freight Partners", "Evergreen Data Systems", "Foxglove Pharmaceuticals",
+	"Granite Peak Holdings", "Harbor Light Media",
+}
+
+var companyB = []string{
+	"Ironwood Capital Group", "Juniper Cloud Services", "Kestrel Analytics Ltd",
+	"Lakeshore Retail Co", "Meridian Health Partners", "Northgate Construction",
+	"Obsidian Security Inc", "Pinnacle Foods Corp",
+}
+
+var contractKinds = []string{
+	"Master Services Agreement", "Software License Agreement",
+	"Supply Agreement", "Consulting Agreement", "Non-Disclosure Agreement",
+}
+
+var neutralClauses = []struct{ name, text string }{
+	{"governing law", "This Agreement shall be governed by the laws of the State of Delaware without regard to conflict of law principles."},
+	{"termination", "Either party may terminate this Agreement upon thirty days written notice to the other party."},
+	{"confidentiality", "Each party shall hold the other party's Confidential Information in strict confidence and use it solely to perform its obligations."},
+	{"payment terms", "Invoices are payable net forty-five days from receipt; late amounts accrue interest at one percent per month."},
+	{"force majeure", "Neither party shall be liable for delay caused by events beyond its reasonable control, including natural disasters and labor disputes."},
+	{"assignment", "Neither party may assign this Agreement without the prior written consent of the other party, not to be unreasonably withheld."},
+}
+
+const indemnificationText = "Each party (the Indemnifying Party) shall indemnify, defend, and hold harmless the other party from and against any and all claims, damages, liabilities, and expenses arising out of the Indemnifying Party's breach of this Agreement or negligence."
+
+// GenerateLegal produces the synthetic contract collection. Each contract's
+// ground truth carries the parties, effective date, contract kind, and
+// whether an indemnification clause is present (plus the clause mentions).
+func GenerateLegal(cfg LegalConfig) []*Doc {
+	if cfg.NumContracts <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numIndem := int(float64(cfg.NumContracts)*cfg.IndemnificationRate + 0.5)
+
+	docs := make([]*Doc, 0, cfg.NumContracts)
+	for i := 0; i < cfg.NumContracts; i++ {
+		hasIndem := i < numIndem
+		docs = append(docs, genContract(rng, i, hasIndem))
+	}
+	docs = shuffled(rng, docs)
+	for i, d := range docs {
+		d.Filename = fmt.Sprintf("contract-%03d.txt", i+1)
+	}
+	return docs
+}
+
+func genContract(rng *rand.Rand, idx int, hasIndem bool) *Doc {
+	pa := pick(rng, companyA)
+	pb := pick(rng, companyB)
+	kind := pick(rng, contractKinds)
+	year := 2019 + rng.Intn(6)
+	month := 1 + rng.Intn(12)
+	day := 1 + rng.Intn(28)
+	date := fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+	termMonths := 12 * (1 + rng.Intn(4))
+
+	clauses := shuffled(rng, neutralClauses)[:3+rng.Intn(3)]
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", strings.ToUpper(kind))
+	fmt.Fprintf(&b, "This %s (the Agreement) is entered into as of %s (the Effective Date) by and between %s and %s.\n\n",
+		kind, date, pa, pb)
+	fmt.Fprintf(&b, "1. Term. The initial term of this Agreement is %d months from the Effective Date.\n\n", termMonths)
+	truth := &Truth{
+		Topics: []string{"contract", strings.ToLower(kind)},
+		Labels: map[string]bool{IndemnificationLabel: hasIndem},
+		Fields: map[string]string{
+			"party_a":        pa,
+			"party_b":        pb,
+			"effective_date": date,
+			"contract_kind":  kind,
+		},
+		Numbers: map[string]float64{"term_months": float64(termMonths)},
+	}
+	sec := 2
+	for _, c := range clauses {
+		fmt.Fprintf(&b, "%d. %s. %s\n\n", sec, titleWords(c.name), c.text)
+		truth.Mentions = append(truth.Mentions, Mention{
+			Kind:   ClauseMentionKind,
+			Fields: map[string]string{"name": c.name, "text": c.text},
+		})
+		sec++
+	}
+	if hasIndem {
+		fmt.Fprintf(&b, "%d. Indemnification. %s\n\n", sec, indemnificationText)
+		truth.Mentions = append(truth.Mentions, Mention{
+			Kind:   ClauseMentionKind,
+			Fields: map[string]string{"name": "indemnification", "text": indemnificationText},
+		})
+		truth.Topics = append(truth.Topics, "indemnification")
+		sec++
+	}
+	fmt.Fprintf(&b, "IN WITNESS WHEREOF, the parties have executed this Agreement as of the Effective Date.\n%s\n%s\n", pa, pb)
+	return &Doc{Text: b.String(), Truth: truth}
+}
+
+func titleWords(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		fields[i] = strings.ToUpper(f[:1]) + f[1:]
+	}
+	return strings.Join(fields, " ")
+}

@@ -1,0 +1,121 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RealEstateConfig controls the listings generator used by the paper's
+// real-estate search demo scenario.
+type RealEstateConfig struct {
+	// NumListings is the number of listings to generate.
+	NumListings int
+	// ModernRate is the fraction of listings with a modern, recently
+	// renovated interior (the scenario's semantic filter target).
+	ModernRate float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultRealEstate returns the real-estate workload used by examples and
+// benches: 120 listings, 35% modern.
+func DefaultRealEstate() RealEstateConfig {
+	return RealEstateConfig{NumListings: 120, ModernRate: 0.35, Seed: 11}
+}
+
+// ModernLabel is the ground-truth label for modern/renovated listings.
+const ModernLabel = "modern"
+
+var neighborhoods = []string{
+	"Back Bay", "Beacon Hill", "Cambridgeport", "Davis Square", "East Boston",
+	"Fenway", "Jamaica Plain", "Kendall Square", "North End", "South End",
+	"Somerville", "Charlestown",
+}
+
+var streets = []string{
+	"Maple Street", "Oak Avenue", "Harbor Road", "Elm Court", "Beacon Street",
+	"Main Street", "Chestnut Lane", "Willow Way", "Park Drive", "River Road",
+}
+
+var modernPhrases = []string{
+	"Fully renovated in the last two years with a sleek modern kitchen and quartz countertops",
+	"Contemporary open floor plan with floor-to-ceiling windows and smart home controls",
+	"Brand new stainless appliances, recessed lighting, and polished concrete floors",
+	"Designer finishes throughout with an updated spa-like bathroom and new HVAC",
+}
+
+var datedPhrases = []string{
+	"Charming older unit with original hardwood and vintage fixtures, ready for your updates",
+	"Classic layout with dated kitchen; great bones and plenty of potential",
+	"Well-kept traditional interior featuring wall-to-wall carpet and oak cabinetry",
+	"Estate sale condition; appliances are functional but original to the building",
+}
+
+// GenerateRealEstate produces the synthetic listings. Ground truth carries
+// address, neighborhood, price, bedrooms, bathrooms, square footage, and
+// the modern/dated label.
+func GenerateRealEstate(cfg RealEstateConfig) []*Doc {
+	if cfg.NumListings <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numModern := int(float64(cfg.NumListings)*cfg.ModernRate + 0.5)
+
+	docs := make([]*Doc, 0, cfg.NumListings)
+	for i := 0; i < cfg.NumListings; i++ {
+		docs = append(docs, genListing(rng, i, i < numModern))
+	}
+	docs = shuffled(rng, docs)
+	for i, d := range docs {
+		d.Filename = fmt.Sprintf("listing-%03d.txt", i+1)
+	}
+	return docs
+}
+
+func genListing(rng *rand.Rand, idx int, modern bool) *Doc {
+	num := 10 + rng.Intn(990)
+	street := pick(rng, streets)
+	hood := pick(rng, neighborhoods)
+	address := fmt.Sprintf("%d %s, %s", num, street, hood)
+	beds := 1 + rng.Intn(4)
+	baths := 1 + rng.Intn(3)
+	sqft := 450 + 50*rng.Intn(40) + 220*beds
+	base := 320000 + 155000*beds + 90000*baths + 410*sqft/10
+	if modern {
+		base = base * 120 / 100
+	}
+	price := float64(base + 1000*rng.Intn(50))
+
+	phrase := pick(rng, datedPhrases)
+	if modern {
+		phrase = pick(rng, modernPhrases)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Listing: %s\n\n", address)
+	fmt.Fprintf(&b, "Price: %s\n", fmtUSD(price))
+	fmt.Fprintf(&b, "Bedrooms: %d  Bathrooms: %d  Size: %d sqft\n\n", beds, baths, sqft)
+	fmt.Fprintf(&b, "Description. %s. Located in %s with easy access to transit and local shops. ", phrase, hood)
+	fmt.Fprintf(&b, "Monthly HOA fee of $%d. Listed by Harborview Realty.\n", 150+10*rng.Intn(40))
+
+	topics := []string{"real estate", hood}
+	if modern {
+		topics = append(topics, "modern renovated")
+	}
+	truth := &Truth{
+		Topics: topics,
+		Labels: map[string]bool{ModernLabel: modern},
+		Fields: map[string]string{
+			"address":      address,
+			"neighborhood": hood,
+		},
+		Numbers: map[string]float64{
+			"price":     price,
+			"bedrooms":  float64(beds),
+			"bathrooms": float64(baths),
+			"sqft":      float64(sqft),
+		},
+	}
+	return &Doc{Text: b.String(), Truth: truth}
+}

@@ -1,0 +1,128 @@
+// Package dataset implements Palimpzest's input layer: named data sources
+// that yield records. "At the core of Palimpzest, there are datasets:
+// collections of input records. ... this could either be a local folder,
+// for which every file will constitute an individual record; or an iterable
+// object in memory, for which every item will be a record" (paper §3).
+//
+// A DirSource reads a folder, auto-selecting the record schema from file
+// extensions (the paper's "native PDFFile schema ... automatically chosen
+// ... given their extension"); a MemSource wraps in-memory records; a
+// DocsSource wraps synthetic corpus documents directly. A process-wide
+// Registry provides the named registration used by the chat tools.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Source is a registered dataset: a name, a record schema, and a way to
+// materialize records. Sources must be safe for repeated Records calls.
+type Source interface {
+	// Name identifies the dataset in the registry and in record lineage.
+	Name() string
+	// Schema is the schema of records the source yields.
+	Schema() *schema.Schema
+	// Records materializes all records of the dataset.
+	Records() ([]*record.Record, error)
+}
+
+// MemSource is an in-memory dataset.
+type MemSource struct {
+	name   string
+	schema *schema.Schema
+	recs   []*record.Record
+}
+
+// NewMemSource builds an in-memory source. All records must conform to s.
+func NewMemSource(name string, s *schema.Schema, recs []*record.Record) (*MemSource, error) {
+	if s == nil {
+		return nil, fmt.Errorf("dataset: nil schema for %q", name)
+	}
+	for i, r := range recs {
+		if r.Schema() != s && !schema.Equal(r.Schema(), s) {
+			return nil, fmt.Errorf("dataset %q: record %d has schema %s, want %s",
+				name, i, r.Schema().Name(), s.Name())
+		}
+		r.SetSource(name)
+	}
+	return &MemSource{name: name, schema: s, recs: recs}, nil
+}
+
+// Name implements Source.
+func (m *MemSource) Name() string { return m.name }
+
+// Schema implements Source.
+func (m *MemSource) Schema() *schema.Schema { return m.schema }
+
+// Records implements Source.
+func (m *MemSource) Records() ([]*record.Record, error) {
+	out := make([]*record.Record, len(m.recs))
+	copy(out, m.recs)
+	return out, nil
+}
+
+// Len returns the number of records without materializing copies.
+func (m *MemSource) Len() int { return len(m.recs) }
+
+// Registry maps dataset names to sources. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	sources map[string]Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: map[string]Source{}}
+}
+
+// Register adds a source under its name. Re-registering a name replaces the
+// previous source (the chat flow re-registers while iterating).
+func (r *Registry) Register(s Source) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("dataset: cannot register unnamed source")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources[s.Name()] = s
+	return nil
+}
+
+// Lookup returns the named source.
+func (r *Registry) Lookup(name string) (Source, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sources[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: no dataset registered as %q (have: %v)", name, r.names())
+	}
+	return s, nil
+}
+
+// Names returns the sorted registered dataset names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.names()
+}
+
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.sources))
+	for k := range r.sources {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a registration; removing an absent name is a no-op.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sources, name)
+}

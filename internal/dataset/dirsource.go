@@ -1,0 +1,328 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/pdfsim"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// TruthSidecar is the filename of the optional ground-truth sidecar a
+// corpus can leave next to its files. When present, DirSource re-attaches
+// the hidden annotations to the loaded records so that the simulated LLM
+// oracle and the metrics layer keep working across a disk round-trip.
+const TruthSidecar = "_groundtruth.json"
+
+// DirSource reads every regular file in a directory as one record,
+// reproducing Palimpzest's local-folder datasets. The record schema is
+// chosen from the dominant file extension.
+type DirSource struct {
+	name   string
+	dir    string
+	schema *schema.Schema
+	files  []string
+}
+
+// NewDirSource scans dir (non-recursively) and prepares a source. The
+// schema is auto-selected from the most common file extension; an empty or
+// missing directory is an error.
+func NewDirSource(name, dir string) (*DirSource, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var files []string
+	extCount := map[string]int{}
+	for _, e := range entries {
+		if e.IsDir() || e.Name() == TruthSidecar || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		files = append(files, e.Name())
+		extCount[filepath.Ext(e.Name())]++
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("dataset: directory %s contains no data files", dir)
+	}
+	sort.Strings(files)
+	// Pick the dominant extension deterministically (count desc, name asc).
+	exts := make([]string, 0, len(extCount))
+	for e := range extCount {
+		exts = append(exts, e)
+	}
+	sort.Slice(exts, func(i, j int) bool {
+		if extCount[exts[i]] != extCount[exts[j]] {
+			return extCount[exts[i]] > extCount[exts[j]]
+		}
+		return exts[i] < exts[j]
+	})
+	s, _ := schema.ForExtension(exts[0])
+	return &DirSource{name: name, dir: dir, schema: s, files: files}, nil
+}
+
+// Name implements Source.
+func (d *DirSource) Name() string { return d.name }
+
+// Schema implements Source.
+func (d *DirSource) Schema() *schema.Schema { return d.schema }
+
+// Dir returns the backing directory.
+func (d *DirSource) Dir() string { return d.dir }
+
+// NumFiles returns how many files the source will read.
+func (d *DirSource) NumFiles() int { return len(d.files) }
+
+// Records implements Source: it parses every file with the reader for its
+// extension and re-attaches sidecar ground truth when available.
+func (d *DirSource) Records() ([]*record.Record, error) {
+	truths, err := loadSidecar(filepath.Join(d.dir, TruthSidecar))
+	if err != nil {
+		return nil, err
+	}
+	var out []*record.Record
+	for _, f := range d.files {
+		data, err := os.ReadFile(filepath.Join(d.dir, f))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		recs, err := parseFile(f, data, d.schema)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: parse %s: %w", f, err)
+		}
+		for _, r := range recs {
+			r.SetSource(d.name)
+			if gt, ok := truths[f]; ok {
+				r.SetTruth(corpus.TruthKey, gt)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// parseFile converts one file into records according to its extension. The
+// target schema decides the shape; CSV files fan out to one record per row.
+func parseFile(name string, data []byte, target *schema.Schema) ([]*record.Record, error) {
+	ext := filepath.Ext(name)
+	switch {
+	case ext == ".pdf" || pdfsim.IsPDF(data):
+		text, err := pdfsim.ExtractText(data)
+		if err != nil {
+			return nil, err
+		}
+		r, err := record.New(target, map[string]any{"filename": name, "contents": text})
+		if err != nil {
+			return nil, err
+		}
+		return []*record.Record{r}, nil
+	case ext == ".csv" && schema.Equal(target, schema.CSVRow):
+		return parseCSV(name, data)
+	case ext == ".json":
+		return parseJSON(name, data, target)
+	case ext == ".html" || ext == ".htm":
+		text := StripTags(string(data))
+		vals := map[string]any{"contents": text}
+		if target.Has("filename") {
+			vals["filename"] = name
+		}
+		if target.Has("url") {
+			vals["url"] = name
+		}
+		if target.Has("title") {
+			vals["title"] = htmlTitle(string(data))
+		}
+		r, err := record.New(target, vals)
+		if err != nil {
+			return nil, err
+		}
+		return []*record.Record{r}, nil
+	default:
+		r, err := record.New(target, map[string]any{"filename": name, "contents": string(data)})
+		if err != nil {
+			return nil, err
+		}
+		return []*record.Record{r}, nil
+	}
+}
+
+func parseCSV(name string, data []byte) ([]*record.Record, error) {
+	rd := csv.NewReader(bytes.NewReader(data))
+	rd.FieldsPerRecord = -1
+	rows, err := rd.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*record.Record, 0, len(rows))
+	for i, row := range rows {
+		r, err := record.New(schema.CSVRow, map[string]any{
+			"filename": name, "row": i, "cells": row,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func parseJSON(name string, data []byte, target *schema.Schema) ([]*record.Record, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var any0 any
+	if err := dec.Decode(&any0); err != nil {
+		return nil, err
+	}
+	items, ok := any0.([]any)
+	if !ok {
+		items = []any{any0}
+	}
+	out := make([]*record.Record, 0, len(items))
+	for _, it := range items {
+		compact, err := json.Marshal(it)
+		if err != nil {
+			return nil, err
+		}
+		r, err := record.New(target, map[string]any{
+			"filename": name, "contents": string(compact),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// StripTags removes HTML tags and collapses whitespace; a minimal visible-
+// text extractor for .html inputs.
+func StripTags(html string) string {
+	var b strings.Builder
+	inTag := false
+	for _, r := range html {
+		switch {
+		case r == '<':
+			inTag = true
+			b.WriteRune(' ')
+		case r == '>':
+			inTag = false
+		case !inTag:
+			b.WriteRune(r)
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func htmlTitle(html string) string {
+	lower := strings.ToLower(html)
+	i := strings.Index(lower, "<title>")
+	if i < 0 {
+		return ""
+	}
+	j := strings.Index(lower[i:], "</title>")
+	if j < 0 {
+		return ""
+	}
+	return strings.TrimSpace(html[i+len("<title>") : i+j])
+}
+
+// sidecarEntry is the JSON shape of one document's ground truth.
+type sidecarEntry struct {
+	Filename string        `json:"filename"`
+	Truth    *corpus.Truth `json:"truth"`
+}
+
+// WriteSidecar persists ground truth for docs next to their files so that a
+// later DirSource load re-attaches it.
+func WriteSidecar(dir string, docs []*corpus.Doc) error {
+	entries := make([]sidecarEntry, 0, len(docs))
+	for _, d := range docs {
+		entries = append(entries, sidecarEntry{Filename: d.Filename, Truth: d.Truth})
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, TruthSidecar), data, 0o644)
+}
+
+func loadSidecar(path string) (map[string]*corpus.Truth, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var entries []sidecarEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("dataset: bad sidecar %s: %w", path, err)
+	}
+	out := make(map[string]*corpus.Truth, len(entries))
+	for _, e := range entries {
+		out[e.Filename] = e.Truth
+	}
+	return out, nil
+}
+
+// MaterializeCorpus writes docs (plus the ground-truth sidecar) into dir and
+// returns a DirSource over it. This is the one-call path the examples and
+// experiments use to stand up a paper workload on disk.
+func MaterializeCorpus(name, dir string, docs []*corpus.Doc) (*DirSource, error) {
+	if _, err := corpus.WriteFiles(dir, docs); err != nil {
+		return nil, err
+	}
+	if err := WriteSidecar(dir, docs); err != nil {
+		return nil, err
+	}
+	return NewDirSource(name, dir)
+}
+
+// DocsSource wraps corpus documents directly (no disk round-trip). Records
+// are materialized once and cached, so repeated Records calls return the
+// same record instances: lineage from pipeline outputs stays joinable with
+// the inputs a caller saved (the metrics layer relies on this).
+type DocsSource struct {
+	name   string
+	schema *schema.Schema
+	docs   []*corpus.Doc
+
+	once sync.Once
+	recs []*record.Record
+	err  error
+}
+
+// NewDocsSource builds a source over in-memory corpus documents using the
+// given record schema (must have filename/contents fields).
+func NewDocsSource(name string, s *schema.Schema, docs []*corpus.Doc) (*DocsSource, error) {
+	if !s.Has("filename") || !s.Has("contents") {
+		return nil, fmt.Errorf("dataset: schema %s lacks filename/contents", s.Name())
+	}
+	return &DocsSource{name: name, schema: s, docs: docs}, nil
+}
+
+// Name implements Source.
+func (d *DocsSource) Name() string { return d.name }
+
+// Schema implements Source.
+func (d *DocsSource) Schema() *schema.Schema { return d.schema }
+
+// Records implements Source.
+func (d *DocsSource) Records() ([]*record.Record, error) {
+	d.once.Do(func() {
+		d.recs, d.err = corpus.Records(d.docs, d.schema, d.name)
+	})
+	if d.err != nil {
+		return nil, d.err
+	}
+	out := make([]*record.Record, len(d.recs))
+	copy(out, d.recs)
+	return out, nil
+}

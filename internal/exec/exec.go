@@ -1,0 +1,211 @@
+// Package exec implements Palimpzest's execution engine: it runs a chosen
+// physical plan over its dataset, collecting the per-operator statistics
+// the paper's Figure 5 panel displays ("users can gain insights into the
+// workload execution by asking the system to provide statistics such as
+// how much runtime was needed to produce the output, and how much the LLM
+// invocations costed").
+//
+// LLM latency is modeled on a virtual clock (internal/simclock), so the
+// reported runtime has the paper's magnitude (hundreds of seconds for the
+// demo workload) while actual execution takes milliseconds.
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/ops"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/simclock"
+)
+
+// Config configures an Executor.
+type Config struct {
+	// Parallelism is the maximum concurrent LLM calls per operator
+	// (default 1 = strictly sequential).
+	Parallelism int
+	// MaxAttempts bounds LLM retries per call (default 3).
+	MaxAttempts int
+	// Backoff is the base retry backoff (default 200ms).
+	Backoff time.Duration
+	// FailureRate injects transient LLM failures (default 0).
+	FailureRate float64
+	// EnableCache memoizes LLM responses across runs: re-executing a
+	// pipeline over unchanged data costs (almost) nothing.
+	EnableCache bool
+}
+
+// Executor owns the LLM service, virtual clock, and retry client for a
+// sequence of pipeline runs. Usage accumulates across runs until Reset.
+type Executor struct {
+	svc    *llm.Service
+	clock  *simclock.Sim
+	client llm.Completer
+	cache  *llm.Cache
+	cfg    Config
+}
+
+// NewExecutor builds an executor.
+func NewExecutor(cfg Config) (*Executor, error) {
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("exec: parallelism %d", cfg.Parallelism)
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 200 * time.Millisecond
+	}
+	svc := llm.NewService()
+	if cfg.FailureRate > 0 {
+		svc.WithFailureRate(cfg.FailureRate)
+	}
+	clock := simclock.NewSim()
+	retry, err := llm.NewRetryClient(svc, clock, cfg.MaxAttempts, cfg.Backoff)
+	if err != nil {
+		return nil, err
+	}
+	e := &Executor{svc: svc, clock: clock, client: retry, cfg: cfg}
+	if cfg.EnableCache {
+		e.cache = llm.NewCache()
+		cached, err := llm.NewCachedClient(retry, e.cache)
+		if err != nil {
+			return nil, err
+		}
+		e.client = cached
+	}
+	return e, nil
+}
+
+// Cache returns the response cache (nil unless EnableCache).
+func (e *Executor) Cache() *llm.Cache { return e.cache }
+
+// Service exposes the underlying LLM service (usage reports).
+func (e *Executor) Service() *llm.Service { return e.svc }
+
+// Clock exposes the virtual clock.
+func (e *Executor) Clock() *simclock.Sim { return e.clock }
+
+// NewCtx creates a fresh operator execution context with its own stats.
+func (e *Executor) NewCtx() *ops.Ctx {
+	return &ops.Ctx{
+		Client:      e.client,
+		Svc:         e.svc,
+		Clock:       e.clock,
+		Parallelism: e.cfg.Parallelism,
+		Stats:       ops.NewRunStats(),
+	}
+}
+
+// Result is a completed pipeline run.
+type Result struct {
+	// Records are the pipeline outputs.
+	Records []*record.Record
+	// Stats hold per-operator execution statistics.
+	Stats *ops.RunStats
+	// Plan is the optimizer's chosen plan (nil for direct physical runs).
+	Plan *optimizer.Plan
+	// Candidates is how many physical plans the optimizer considered.
+	Candidates int
+	// Policy describes the selection policy used.
+	Policy string
+	// Elapsed is the simulated wall-clock time of the run.
+	Elapsed time.Duration
+	// CostUSD is the total LLM cost of the run (including sentinel
+	// sampling when enabled).
+	CostUSD float64
+}
+
+// RunPhysical executes an explicit physical operator sequence.
+func (e *Executor) RunPhysical(phys []ops.Physical) (*Result, error) {
+	if len(phys) == 0 {
+		return nil, fmt.Errorf("exec: empty physical plan")
+	}
+	ctx := e.NewCtx()
+	startCost := e.svc.TotalCost()
+	start := e.clock.Now()
+	var recs []*record.Record
+	var err error
+	for i, op := range phys {
+		ctx.SetCurrentOp(i)
+		recs, err = op.Execute(ctx, recs)
+		if err != nil {
+			return nil, fmt.Errorf("exec: operator %d (%s): %w", i, op.ID(), err)
+		}
+	}
+	return &Result{
+		Records: recs,
+		Stats:   ctx.Stats,
+		Elapsed: e.clock.Now().Sub(start),
+		CostUSD: e.svc.TotalCost() - startCost,
+	}, nil
+}
+
+// Execute optimizes the logical chain under policy and runs the chosen
+// plan: the engine behind pz.Execute (paper Figure 6: records,
+// execution_stats = Execute(output, policy)).
+func (e *Executor) Execute(chain []ops.Logical, policy optimizer.Policy, opts optimizer.Options) (*Result, error) {
+	optCtx := e.NewCtx()
+	startCost := e.svc.TotalCost()
+	start := e.clock.Now()
+	opt := optimizer.New(opts)
+	plan, candidates, err := opt.Optimize(chain, policy, optCtx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.RunPhysical(plan.Ops)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	res.Candidates = len(candidates)
+	res.Policy = policy.Describe()
+	// Fold optimization-time (sentinel) cost and time into the run totals.
+	res.Elapsed = e.clock.Now().Sub(start)
+	res.CostUSD = e.svc.TotalCost() - startCost
+	return res, nil
+}
+
+// Report renders a Figure 5-style execution summary: output records,
+// per-operator table, chosen plan, total runtime and cost.
+func Report(res *Result, maxRecords int) string {
+	var b strings.Builder
+	b.WriteString("=== Execution Report ===\n")
+	if res.Plan != nil {
+		fmt.Fprintf(&b, "policy:  %s\n", res.Policy)
+		fmt.Fprintf(&b, "plan:    %s\n", res.Plan)
+		fmt.Fprintf(&b, "plans considered: %d\n", res.Candidates)
+		fmt.Fprintf(&b, "estimates: cost=$%.4f time=%.1fs quality=%.3f\n",
+			res.Plan.Cost(), res.Plan.Time(), res.Plan.Quality())
+	}
+	fmt.Fprintf(&b, "output records: %d\n", len(res.Records))
+	if maxRecords > 0 {
+		n := len(res.Records)
+		if n > maxRecords {
+			n = maxRecords
+		}
+		for _, r := range res.Records[:n] {
+			fmt.Fprintf(&b, "  %s\n", r)
+		}
+		if len(res.Records) > n {
+			fmt.Fprintf(&b, "  … and %d more\n", len(res.Records)-n)
+		}
+	}
+	b.WriteString("\nper-operator statistics:\n")
+	fmt.Fprintf(&b, "  %-38s %6s %6s %7s %10s %10s %12s\n",
+		"operator", "in", "out", "calls", "tokens", "cost_usd", "time")
+	for _, op := range res.Stats.Ops() {
+		fmt.Fprintf(&b, "  %-38s %6d %6d %7d %10d %10.4f %12s\n",
+			op.OpID, op.InRecords, op.OutRecords, op.LLMCalls,
+			op.InputTokens+op.OutputTokens, op.CostUSD, op.Time.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "\ntotal runtime: %s (simulated)\n", res.Elapsed.Round(time.Second))
+	fmt.Fprintf(&b, "total cost:    $%.4f\n", res.CostUSD)
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/pz"
+)
+
+// ScaleRow is one library-size measurement for the scaling experiment
+// (E9): the paper's motivation that "as these AI systems grow in scope,
+// users face major challenges around runtime cost" — pipeline cost and
+// runtime should scale linearly in corpus size, and parallelism should cut
+// wall-clock without changing outputs.
+type ScaleRow struct {
+	Papers       int
+	Relevant     int
+	Outputs      int
+	CostUSD      float64
+	RuntimeSeq   time.Duration
+	RuntimePar8  time.Duration
+	CostPerPaper float64
+}
+
+// RunScale executes the demo pipeline over libraries of increasing size.
+func RunScale(sizes []int) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for _, n := range sizes {
+		cfg := corpus.BiomedConfig{
+			NumPapers:   n,
+			NumRelevant: n * 5 / 11,
+			NumDatasets: n * 6 / 11,
+			Seed:        42,
+		}
+		runOnce := func(parallelism int) (*pz.Result, error) {
+			ctx, err := pz.NewContext(pz.Config{Parallelism: parallelism})
+			if err != nil {
+				return nil, err
+			}
+			docs := corpus.GenerateBiomed(cfg)
+			if _, err := ctx.RegisterDocs("library", pz.PDFFile, docs); err != nil {
+				return nil, err
+			}
+			ds, err := ctx.Dataset("library")
+			if err != nil {
+				return nil, err
+			}
+			clinical := ClinicalSchema()
+			return ctx.Execute(
+				ds.Filter(DemoPredicate).Convert(clinical, clinical.Doc(), pz.OneToMany),
+				pz.MaxQuality())
+		}
+		seq, err := runOnce(1)
+		if err != nil {
+			return nil, fmt.Errorf("scale n=%d: %w", n, err)
+		}
+		par, err := runOnce(8)
+		if err != nil {
+			return nil, fmt.Errorf("scale n=%d par: %w", n, err)
+		}
+		if len(seq.Records) != len(par.Records) {
+			return nil, fmt.Errorf("scale n=%d: parallelism changed outputs (%d vs %d)",
+				n, len(seq.Records), len(par.Records))
+		}
+		rows = append(rows, ScaleRow{
+			Papers:       n,
+			Relevant:     cfg.NumRelevant,
+			Outputs:      len(seq.Records),
+			CostUSD:      seq.CostUSD,
+			RuntimeSeq:   seq.Elapsed,
+			RuntimePar8:  par.Elapsed,
+			CostPerPaper: seq.CostUSD / float64(n),
+		})
+	}
+	return rows, nil
+}
+
+// ScaleTable renders the scaling measurements.
+func ScaleTable(rows []ScaleRow) string {
+	var b strings.Builder
+	b.WriteString("| papers | relevant | outputs | cost | cost/paper | runtime (seq) | runtime (par=8) |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %d | %d | %d | $%.3f | $%.4f | %.0fs | %.0fs |\n",
+			r.Papers, r.Relevant, r.Outputs, r.CostUSD, r.CostPerPaper,
+			r.RuntimeSeq.Seconds(), r.RuntimePar8.Seconds())
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Completer is the completion surface operators call. Service, RetryClient,
+// and CachedClient all implement it, so executors can stack retry and
+// caching layers freely.
+type Completer interface {
+	Complete(req Request) (*Response, error)
+}
+
+// Cache memoizes completion responses by semantic request identity, the way
+// Palimpzest caches LLM results so that re-running a pipeline over unchanged
+// data costs nothing. Safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]Response
+	hits    int
+	misses  int
+	saved   float64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: map[string]Response{}} }
+
+// key derives the cache identity of a request: model, task, the semantic
+// task inputs, and the record's content digest. The raw prompt text is
+// deliberately excluded — equivalent requests with cosmetically different
+// prompts still hit.
+func (c *Cache) key(req Request) string {
+	fields := make([]string, len(req.Fields))
+	for i, f := range req.Fields {
+		fields[i] = f.Name + ":" + f.Type.String()
+	}
+	sort.Strings(fields)
+	return strings.Join([]string{
+		req.Model,
+		req.Task.String(),
+		req.Predicate,
+		strings.Join(fields, ","),
+		fmt.Sprint(req.OneToMany),
+		fmt.Sprintf("%.3f", req.QualityBoost),
+		recordDigest(req.Record),
+	}, "|")
+}
+
+// Stats reports cache effectiveness: hits, misses, and dollars saved.
+func (c *Cache) Stats() (hits, misses int, savedUSD float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.saved
+}
+
+// Len returns the number of cached responses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Clear drops all entries (statistics are retained).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]Response{}
+}
+
+// CachedClient layers a Cache over any Completer. Hits return a copy of the
+// stored response with zero cost and negligible latency; misses pass
+// through and populate the cache.
+type CachedClient struct {
+	inner Completer
+	cache *Cache
+}
+
+// NewCachedClient wraps inner with cache.
+func NewCachedClient(inner Completer, cache *Cache) (*CachedClient, error) {
+	if inner == nil || cache == nil {
+		return nil, fmt.Errorf("llm: cached client needs inner completer and cache")
+	}
+	return &CachedClient{inner: inner, cache: cache}, nil
+}
+
+// Cache exposes the underlying cache (for statistics).
+func (c *CachedClient) Cache() *Cache { return c.cache }
+
+// Complete implements Completer.
+func (c *CachedClient) Complete(req Request) (*Response, error) {
+	if req.Record == nil {
+		// Let the inner client produce its usual validation error.
+		return c.inner.Complete(req)
+	}
+	key := c.cache.key(req)
+	c.cache.mu.Lock()
+	if cached, ok := c.cache.entries[key]; ok {
+		c.cache.hits++
+		c.cache.saved += cached.CostUSD
+		c.cache.mu.Unlock()
+		hit := cached
+		hit.CostUSD = 0
+		hit.Latency = 0
+		hit.Extractions = copyExtractions(cached.Extractions)
+		return &hit, nil
+	}
+	c.cache.misses++
+	c.cache.mu.Unlock()
+
+	resp, err := c.inner.Complete(req)
+	if err != nil {
+		return nil, err
+	}
+	stored := *resp
+	stored.Extractions = copyExtractions(resp.Extractions)
+	c.cache.mu.Lock()
+	c.cache.entries[key] = stored
+	c.cache.mu.Unlock()
+	return resp, nil
+}
+
+func copyExtractions(exs []map[string]string) []map[string]string {
+	if exs == nil {
+		return nil
+	}
+	out := make([]map[string]string, len(exs))
+	for i, ex := range exs {
+		m := make(map[string]string, len(ex))
+		for k, v := range ex {
+			m[k] = v
+		}
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package llm
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+func cacheTestRecord(t *testing.T) *record.Record {
+	t.Helper()
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	recs, err := corpus.Records(docs[:1], schema.PDFFile, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs[0]
+}
+
+func TestCachedClientHitSemantics(t *testing.T) {
+	svc := NewService()
+	cache := NewCache()
+	client, err := NewCachedClient(svc, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cacheTestRecord(t)
+	req := Request{Model: "atlas-large", Task: TaskFilter,
+		Prompt: "p: " + r.Text(), Record: r, Predicate: "about colorectal cancer"}
+
+	first, err := client.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CostUSD <= 0 {
+		t.Fatal("miss should cost")
+	}
+	second, err := client.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CostUSD != 0 || second.Latency != 0 {
+		t.Errorf("hit charged cost=%v latency=%v", second.CostUSD, second.Latency)
+	}
+	if second.Decision != first.Decision {
+		t.Error("hit decision differs")
+	}
+	hits, misses, saved := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	if saved != first.CostUSD {
+		t.Errorf("saved = %v, want %v", saved, first.CostUSD)
+	}
+	if svc.TotalCalls() != 1 {
+		t.Errorf("service called %d times, want 1", svc.TotalCalls())
+	}
+}
+
+func TestCacheKeyIgnoresPromptCosmetics(t *testing.T) {
+	svc := NewService()
+	cache := NewCache()
+	client, _ := NewCachedClient(svc, cache)
+	r := cacheTestRecord(t)
+	a := Request{Model: "atlas-large", Task: TaskFilter, Prompt: "wording A " + r.Text(),
+		Record: r, Predicate: "about colorectal cancer"}
+	b := a
+	b.Prompt = "totally different wording " + r.Text()
+	if _, err := client.Complete(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Complete(b); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := cache.Stats(); hits != 1 {
+		t.Errorf("cosmetically different prompt missed the cache: hits=%d", hits)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	svc := NewService()
+	cache := NewCache()
+	client, _ := NewCachedClient(svc, cache)
+	r := cacheTestRecord(t)
+	base := Request{Model: "atlas-large", Task: TaskFilter, Prompt: "p" + r.Text(),
+		Record: r, Predicate: "about colorectal cancer"}
+	variants := []Request{base}
+	v2 := base
+	v2.Model = "atlas-small"
+	v3 := base
+	v3.Predicate = "about influenza"
+	v4 := base
+	v4.Task = TaskExtract
+	v4.Fields = []schema.Field{{Name: "name", Type: schema.String}}
+	variants = append(variants, v2, v3, v4)
+	for _, req := range variants {
+		if _, err := client.Complete(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses, _ := cache.Stats(); hits != 0 || misses != len(variants) {
+		t.Errorf("distinct requests collided: hits=%d misses=%d", hits, misses)
+	}
+	if cache.Len() != len(variants) {
+		t.Errorf("cache len = %d", cache.Len())
+	}
+}
+
+func TestCachedExtractionIsolation(t *testing.T) {
+	// Mutating a cached extraction must not corrupt later hits.
+	svc := NewService()
+	cache := NewCache()
+	client, _ := NewCachedClient(svc, cache)
+	r := cacheTestRecord(t)
+	req := Request{Model: "atlas-large", Task: TaskExtract, Prompt: "p" + r.Text(),
+		Record: r, OneToMany: true,
+		Fields: []schema.Field{{Name: "name", Type: schema.String}, {Name: "url", Type: schema.String}}}
+	first, err := client.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Extractions) == 0 {
+		t.Skip("record has no extractions")
+	}
+	orig := first.Extractions[0]["name"]
+	first.Extractions[0]["name"] = "MUTATED"
+	second, err := client.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Extractions[0]["name"] != orig {
+		t.Error("cache entry corrupted by caller mutation")
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	svc := NewService()
+	cache := NewCache()
+	client, _ := NewCachedClient(svc, cache)
+	r := cacheTestRecord(t)
+	req := Request{Model: "atlas-small", Task: TaskFilter, Prompt: "p" + r.Text(), Record: r, Predicate: "x"}
+	_, _ = client.Complete(req)
+	cache.Clear()
+	if cache.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+	_, _ = client.Complete(req)
+	if _, misses, _ := cache.Stats(); misses != 2 {
+		t.Errorf("misses = %d, want 2 after clear", misses)
+	}
+}
+
+func TestCachedClientValidation(t *testing.T) {
+	if _, err := NewCachedClient(nil, NewCache()); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewCachedClient(NewService(), nil); err == nil {
+		t.Error("nil cache accepted")
+	}
+	client, _ := NewCachedClient(NewService(), NewCache())
+	if _, err := client.Complete(Request{Model: "atlas-large", Task: TaskFilter, Prompt: "p"}); err == nil {
+		t.Error("nil record passed through without error")
+	}
+}

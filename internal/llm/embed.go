@@ -1,0 +1,92 @@
+package llm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/textutil"
+)
+
+// EmbedDim is the dimensionality of simulated embeddings.
+const EmbedDim = 64
+
+// Embed produces a deterministic embedding of text with the named embedding
+// model, charging its tokens to usage. The embedding is a term-feature hash:
+// texts sharing vocabulary land near each other, which is the property the
+// Retrieve operator and the embedding pre-filter need.
+func (s *Service) Embed(model, text string) ([]float64, *Response, error) {
+	card, err := Card(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !card.Embedding {
+		return nil, nil, fmt.Errorf("llm: %s is not an embedding model", card.Name)
+	}
+	inTok := CountTokens(text)
+	if inTok == 0 {
+		return nil, nil, fmt.Errorf("llm: cannot embed empty text")
+	}
+	if inTok > card.ContextWindow {
+		// Real embedding endpoints truncate; we charge only the window.
+		inTok = card.ContextWindow
+	}
+	vec := EmbedVector(text)
+	resp := &Response{
+		Model:       card.Name,
+		InputTokens: inTok,
+		CostUSD:     card.Cost(inTok, 0),
+		Latency:     card.Latency(inTok, 0),
+	}
+	s.account(card.Name, func(u *Usage) {
+		u.Calls++
+		u.InputTokens += inTok
+		u.CostUSD += resp.CostUSD
+		u.Latency += resp.Latency
+	})
+	return vec, resp, nil
+}
+
+// EmbedVector is the pure embedding function (no accounting): terms are
+// hashed into EmbedDim buckets with signed weights and the result is
+// L2-normalized. The zero vector is returned for term-less text.
+func EmbedVector(text string) []float64 {
+	vec := make([]float64, EmbedDim)
+	for term, w := range textutil.TermFreq(text) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(term))
+		sum := h.Sum64()
+		idx := int(sum % EmbedDim)
+		sign := 1.0
+		if (sum>>32)%2 == 1 {
+			sign = -1.0
+		}
+		vec[idx] += sign * w
+	}
+	var n float64
+	for _, x := range vec {
+		n += x * x
+	}
+	if n == 0 {
+		return vec
+	}
+	n = math.Sqrt(n)
+	for i := range vec {
+		vec[i] /= n
+	}
+	return vec
+}
+
+// CosineVec is the cosine similarity of two equal-length vectors.
+func CosineVec(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

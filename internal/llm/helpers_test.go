@@ -1,0 +1,5 @@
+package llm
+
+import "repro/internal/simclock"
+
+func newTestClock() *simclock.Sim { return simclock.NewSim() }

@@ -1,0 +1,409 @@
+package llm
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/textutil"
+)
+
+// decide implements TaskFilter: consult the corpus ground truth when the
+// record carries it, otherwise fall back to lexical semantics over the
+// record text; then apply deterministic model-quality noise.
+func decide(card ModelCard, req Request, resp *Response) {
+	truth := corpus.TruthOf(req.Record)
+	var want bool
+	switch {
+	case truth != nil:
+		want = GoldFilterDecision(truth, req.Predicate)
+	default:
+		want = textutil.Overlap(req.Predicate, req.Record.Text()) >= 0.6
+	}
+	// Model noise: flip the gold answer with probability 1-accuracy,
+	// deterministically per (model, predicate, record content).
+	acc := card.FilterAccuracy()
+	u := unit(strings.Join([]string{"filter", card.Name, req.Predicate, recordDigest(req.Record)}, "|"))
+	got := want
+	if u < 1-acc {
+		got = !want
+	}
+	resp.Decision = got
+	resp.Text = fmt.Sprintf("%t", got)
+}
+
+// GoldFilterDecision evaluates a natural-language predicate against ground
+// truth: first by named boolean labels whose name appears among the
+// predicate's terms, then by topic matching. It defines the gold answer the
+// simulated models approximate and the metrics package scores against.
+func GoldFilterDecision(truth *corpus.Truth, predicate string) bool {
+	predTerms := map[string]bool{}
+	for _, t := range textutil.Terms(predicate) {
+		predTerms[t] = true
+	}
+	for label, val := range truth.Labels {
+		all := true
+		terms := textutil.Terms(label)
+		if len(terms) == 0 {
+			continue
+		}
+		for _, t := range terms {
+			if !predTerms[t] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return val
+		}
+	}
+	return truth.HasTopic(predicate)
+}
+
+// extract implements TaskExtract. With ground truth, it pulls entity
+// mentions or scalar fields matching the requested schema fields and
+// applies per-entity/per-field model noise; without truth it falls back to
+// heuristic extraction from the record text.
+func extract(card ModelCard, req Request, resp *Response) {
+	truth := corpus.TruthOf(req.Record)
+	var exs []map[string]string
+	if truth != nil {
+		exs = truthExtract(card, req, truth)
+	} else {
+		exs = heuristicExtract(req)
+	}
+	if !req.OneToMany && len(exs) > 1 {
+		exs = exs[:1]
+	}
+	resp.Extractions = exs
+	resp.Text = renderExtractions(req.Fields, exs)
+}
+
+// truthExtract matches the requested fields against ground-truth mentions
+// first, then scalar fields.
+func truthExtract(card ModelCard, req Request, truth *corpus.Truth) []map[string]string {
+	acc := card.ExtractAccuracy() + req.QualityBoost
+	if acc > 1 {
+		acc = 1
+	}
+	digest := recordDigest(req.Record)
+
+	// Choose the mention kind with the best coverage of requested fields.
+	kind, coverage := bestMentionKind(req.Fields, truth)
+	if coverage >= 0.5 {
+		var out []map[string]string
+		for i, m := range truth.MentionsOfKind(kind) {
+			// Per-entity recall: a weaker model misses some entities
+			// entirely.
+			uEnt := unit(strings.Join([]string{"ent", card.Name, digest, fmt.Sprint(i), m.Fields["name"]}, "|"))
+			if uEnt < 1-acc {
+				continue
+			}
+			ex := map[string]string{}
+			for _, f := range req.Fields {
+				v, ok := matchField(f, m.Fields, truth)
+				if !ok {
+					v = heuristicField(f, req.Record)
+				}
+				// Per-field precision: a weaker model garbles some values.
+				uFld := unit(strings.Join([]string{"fld", card.Name, digest, fmt.Sprint(i), f.Name}, "|"))
+				if uFld < (1-acc)/2 {
+					v = garble(v)
+				}
+				ex[f.Name] = v
+			}
+			out = append(out, ex)
+		}
+		return out
+	}
+
+	// Scalar extraction: one entity per record. When the ground truth
+	// declares none of the requested attributes, a careful model reports
+	// nothing rather than hallucinating from surrounding text — so
+	// truth-bearing records with no extractable content yield no entity.
+	ex := map[string]string{}
+	found := false
+	for _, f := range req.Fields {
+		v, ok := matchField(f, nil, truth)
+		if !ok {
+			v = heuristicField(f, req.Record)
+		} else {
+			found = true
+		}
+		uFld := unit(strings.Join([]string{"sfld", card.Name, digest, f.Name}, "|"))
+		if uFld < (1-acc)/2 {
+			v = garble(v)
+		}
+		ex[f.Name] = v
+	}
+	if !found {
+		return nil
+	}
+	return []map[string]string{ex}
+}
+
+func allEmpty(m map[string]string) bool {
+	for _, v := range m {
+		if v != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// bestMentionKind returns the mention kind whose field names cover the
+// largest fraction of the requested fields.
+func bestMentionKind(fields []schema.Field, truth *corpus.Truth) (string, float64) {
+	if len(fields) == 0 {
+		return "", 0
+	}
+	cov := map[string]int{}
+	for _, m := range truth.Mentions {
+		if _, seen := cov[m.Kind]; seen {
+			continue
+		}
+		n := 0
+		for _, f := range fields {
+			if _, ok := matchKey(f.Name, m.Fields); ok {
+				n++
+			}
+		}
+		cov[m.Kind] = n
+	}
+	bestKind, bestN := "", -1
+	for k, n := range cov {
+		if n > bestN || (n == bestN && k < bestKind) {
+			bestKind, bestN = k, n
+		}
+	}
+	if bestN <= 0 {
+		return "", 0
+	}
+	return bestKind, float64(bestN) / float64(len(fields))
+}
+
+// matchField resolves a requested schema field against mention fields
+// and/or the truth's scalar fields and numbers, using stemmed-name fuzzy
+// matching ("dataset_name" matches "name", "public_url" matches "url").
+func matchField(f schema.Field, mention map[string]string, truth *corpus.Truth) (string, bool) {
+	if mention != nil {
+		if v, ok := matchKey(f.Name, mention); ok {
+			return v, true
+		}
+	}
+	if truth != nil {
+		if v, ok := matchKey(f.Name, truth.Fields); ok {
+			return v, true
+		}
+		for k, n := range truth.Numbers {
+			if keysMatch(f.Name, k) {
+				if f.Type == schema.Int {
+					return fmt.Sprintf("%d", int64(n)), true
+				}
+				return strings.TrimSuffix(strings.TrimSuffix(fmt.Sprintf("%.2f", n), "0"), ".0"), true
+			}
+		}
+	}
+	return "", false
+}
+
+func matchKey(want string, m map[string]string) (string, bool) {
+	// Exact first, then fuzzy; iterate deterministically.
+	if v, ok := m[want]; ok {
+		return v, true
+	}
+	bestKey := ""
+	for k := range m {
+		if keysMatch(want, k) && (bestKey == "" || k < bestKey) {
+			bestKey = k
+		}
+	}
+	if bestKey == "" {
+		return "", false
+	}
+	return m[bestKey], true
+}
+
+// keysMatch reports whether two field names refer to the same attribute:
+// equal after sanitization, or one's stemmed term set contains the other's.
+func keysMatch(a, b string) bool {
+	if a == b {
+		return true
+	}
+	ta, tb := textutil.Terms(strings.ReplaceAll(a, "_", " ")), textutil.Terms(strings.ReplaceAll(b, "_", " "))
+	if len(ta) == 0 || len(tb) == 0 {
+		return false
+	}
+	contains := func(xs, ys []string) bool {
+		set := map[string]bool{}
+		for _, x := range xs {
+			set[x] = true
+		}
+		for _, y := range ys {
+			if !set[y] {
+				return false
+			}
+		}
+		return true
+	}
+	return contains(ta, tb) || contains(tb, ta)
+}
+
+// garble corrupts a value the way a weak model does: it keeps the shape but
+// damages the content, so quality metrics can detect the error.
+func garble(v string) string {
+	if v == "" {
+		return ""
+	}
+	fields := strings.Fields(v)
+	if len(fields) == 1 {
+		// Mangle single tokens (names, URLs) detectably.
+		return v + "-x"
+	}
+	return fields[0] + " (unclear)"
+}
+
+var urlRE = regexp.MustCompile(`https?://[^\s)>\]"']+`)
+var dateRE = regexp.MustCompile(`\b\d{4}-\d{2}-\d{2}\b`)
+var moneyRE = regexp.MustCompile(`\$[\d,]+`)
+
+// cleanURL strips sentence punctuation that the URL regex swallows when a
+// link ends a sentence.
+func cleanURL(u string) string { return strings.TrimRight(u, ".,;:!?") }
+
+// findURLs extracts cleaned URLs from text.
+func findURLs(text string) []string {
+	raw := urlRE.FindAllString(text, -1)
+	out := make([]string, 0, len(raw))
+	for _, u := range raw {
+		if c := cleanURL(u); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// heuristicExtract extracts entities from raw text without ground truth —
+// the path user-uploaded data takes. It keys off URL occurrences: each URL
+// seeds one entity, with name/description guessed from surrounding text.
+func heuristicExtract(req Request) []map[string]string {
+	text := req.Record.Text()
+	urls := findURLs(text)
+	wantsURL := false
+	for _, f := range req.Fields {
+		if strings.Contains(f.Name, "url") || strings.Contains(f.Name, "link") {
+			wantsURL = true
+		}
+	}
+	if wantsURL && len(urls) > 0 {
+		var out []map[string]string
+		for _, u := range urls {
+			ex := map[string]string{}
+			for _, f := range req.Fields {
+				switch {
+				case strings.Contains(f.Name, "url") || strings.Contains(f.Name, "link"):
+					ex[f.Name] = u
+				default:
+					ex[f.Name] = contextAround(text, u)
+				}
+			}
+			out = append(out, ex)
+		}
+		return out
+	}
+	ex := map[string]string{}
+	hit := false
+	for _, f := range req.Fields {
+		v := heuristicField(f, req.Record)
+		if v != "" {
+			hit = true
+		}
+		ex[f.Name] = v
+	}
+	if !hit {
+		return nil
+	}
+	return []map[string]string{ex}
+}
+
+// heuristicField guesses a single field value from text by field-name
+// conventions.
+func heuristicField(f schema.Field, r *record.Record) string {
+	text := r.Text()
+	name := strings.ToLower(f.Name)
+	switch {
+	case strings.Contains(name, "url") || strings.Contains(name, "link"):
+		if m := urlRE.FindString(text); m != "" {
+			return cleanURL(m)
+		}
+	case strings.Contains(name, "date"):
+		if m := dateRE.FindString(text); m != "" {
+			return m
+		}
+	case strings.Contains(name, "price") || strings.Contains(name, "cost") || strings.Contains(name, "fee"):
+		if m := moneyRE.FindString(text); m != "" {
+			return strings.ReplaceAll(strings.TrimPrefix(m, "$"), ",", "")
+		}
+	case strings.Contains(name, "title") || strings.Contains(name, "name"):
+		if line := firstLine(text); line != "" {
+			return textutil.TruncateWords(line, 12)
+		}
+	case strings.Contains(name, "desc") || strings.Contains(name, "summary"):
+		if ss := textutil.Sentences(text); len(ss) > 1 {
+			return textutil.TruncateWords(ss[1], 24)
+		}
+	}
+	return ""
+}
+
+func firstLine(text string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if s := strings.TrimSpace(line); s != "" {
+			return s
+		}
+	}
+	return ""
+}
+
+// contextAround returns a short window of words preceding needle in text —
+// the heuristic "description" of a URL mention.
+func contextAround(text, needle string) string {
+	i := strings.Index(text, needle)
+	if i < 0 {
+		return ""
+	}
+	start := i - 120
+	if start < 0 {
+		start = 0
+	}
+	window := strings.TrimSpace(text[start:i])
+	return textutil.TruncateWords(window, 16)
+}
+
+// renderExtractions produces the JSON-ish text a real model would emit, so
+// output-token accounting reflects extraction size.
+func renderExtractions(fields []schema.Field, exs []map[string]string) string {
+	if len(exs) == 0 {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteString("[")
+	for i, ex := range exs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("{")
+		for j, f := range fields {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q: %q", f.Name, ex[f.Name])
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("]")
+	return b.String()
+}

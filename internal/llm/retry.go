@@ -1,0 +1,57 @@
+package llm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// RetryClient wraps a Service with bounded exponential-backoff retries for
+// transient failures. Backoff sleeps run on the supplied clock, so tests
+// and the simulated executor pay the wait in virtual time only.
+type RetryClient struct {
+	svc         *Service
+	clock       simclock.Clock
+	maxAttempts int
+	baseBackoff time.Duration
+}
+
+// NewRetryClient constructs a retrying client. maxAttempts must be >= 1;
+// baseBackoff is doubled after each failed attempt.
+func NewRetryClient(svc *Service, clock simclock.Clock, maxAttempts int, baseBackoff time.Duration) (*RetryClient, error) {
+	if svc == nil || clock == nil {
+		return nil, fmt.Errorf("llm: retry client needs service and clock")
+	}
+	if maxAttempts < 1 {
+		return nil, fmt.Errorf("llm: maxAttempts %d < 1", maxAttempts)
+	}
+	if baseBackoff <= 0 {
+		baseBackoff = 200 * time.Millisecond
+	}
+	return &RetryClient{svc: svc, clock: clock, maxAttempts: maxAttempts, baseBackoff: baseBackoff}, nil
+}
+
+// Service exposes the wrapped service (for usage reports).
+func (c *RetryClient) Service() *Service { return c.svc }
+
+// Complete executes the request, retrying transient failures. The returned
+// response's Latency includes backoff time spent waiting, so pipeline
+// runtime accounting reflects the retries.
+func (c *RetryClient) Complete(req Request) (*Response, error) {
+	var waited time.Duration
+	backoff := c.baseBackoff
+	for attempt := 1; ; attempt++ {
+		resp, err := c.svc.Complete(req)
+		if err == nil {
+			resp.Latency += waited
+			return resp, nil
+		}
+		if !IsTransient(err) || attempt == c.maxAttempts {
+			return nil, fmt.Errorf("llm: attempt %d/%d: %w", attempt, c.maxAttempts, err)
+		}
+		c.clock.Sleep(backoff)
+		waited += backoff
+		backoff *= 2
+	}
+}

@@ -1,0 +1,274 @@
+package llm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Task discriminates what a completion request is asking the model to do.
+type Task int
+
+// Supported tasks.
+const (
+	// TaskFilter asks for a boolean judgement of a natural-language
+	// predicate over a record.
+	TaskFilter Task = iota
+	// TaskExtract asks the model to populate target schema fields from a
+	// record's text (the Convert operator).
+	TaskExtract
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case TaskFilter:
+		return "filter"
+	case TaskExtract:
+		return "extract"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Request is one completion call.
+type Request struct {
+	// Model names the catalog model to use.
+	Model string
+	// Task selects the simulated behaviour.
+	Task Task
+	// Prompt is the full prompt the caller built. The simulator charges for
+	// its tokens; the decision itself comes from the structured fields
+	// below (see the package comment on the simulation boundary).
+	Prompt string
+	// Record is the data record the task concerns.
+	Record *record.Record
+	// Predicate is the natural-language filter condition (TaskFilter).
+	Predicate string
+	// Fields are the extraction targets (TaskExtract).
+	Fields []schema.Field
+	// OneToMany permits multiple extractions per record (TaskExtract).
+	OneToMany bool
+	// QualityBoost raises the effective task accuracy (capped at 1). The
+	// field-at-a-time Convert strategy passes a small boost, modeling the
+	// empirical advantage of asking for one field per call.
+	QualityBoost float64
+}
+
+// Response is the result of a completion call.
+type Response struct {
+	// Model echoes the model used.
+	Model string
+	// Text is the raw text a real model would have produced.
+	Text string
+	// Decision is the boolean answer for TaskFilter.
+	Decision bool
+	// Extractions holds the field maps produced for TaskExtract (one map
+	// per extracted entity; at most one unless OneToMany).
+	Extractions []map[string]string
+	// InputTokens and OutputTokens are the charged token counts.
+	InputTokens  int
+	OutputTokens int
+	// CostUSD is the dollar cost of the call.
+	CostUSD float64
+	// Latency is the simulated wall-clock duration of the call. The
+	// service does not advance any clock itself; callers account for
+	// latency so parallel executors can overlap calls correctly.
+	Latency time.Duration
+}
+
+// Usage accumulates per-model accounting.
+type Usage struct {
+	Calls        int
+	InputTokens  int
+	OutputTokens int
+	CostUSD      float64
+	Latency      time.Duration
+	Failures     int
+}
+
+// Service is the simulated LLM provider. It is safe for concurrent use.
+type Service struct {
+	mu       sync.Mutex
+	usage    map[string]*Usage
+	calls    uint64
+	failRate float64
+}
+
+// NewService returns a fresh provider with no usage.
+func NewService() *Service {
+	return &Service{usage: map[string]*Usage{}}
+}
+
+// WithFailureRate configures deterministic transient-failure injection:
+// approximately rate of calls fail with a *TransientError before any work
+// is charged. Returns the service for chaining.
+func (s *Service) WithFailureRate(rate float64) *Service {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failRate = rate
+	return s
+}
+
+// TransientError models a retryable provider failure (rate limit, 529).
+type TransientError struct{ Msg string }
+
+// Error implements error.
+func (e *TransientError) Error() string { return "llm: transient: " + e.Msg }
+
+// IsTransient reports whether err is a retryable provider failure.
+func IsTransient(err error) bool {
+	_, ok := err.(*TransientError)
+	return ok
+}
+
+// Complete executes one completion request.
+func (s *Service) Complete(req Request) (*Response, error) {
+	card, err := Card(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	if card.Embedding {
+		return nil, fmt.Errorf("llm: %s is an embedding model", card.Name)
+	}
+	if req.Record == nil {
+		return nil, fmt.Errorf("llm: request without record")
+	}
+	inTok := CountTokens(req.Prompt)
+	if inTok == 0 {
+		return nil, fmt.Errorf("llm: empty prompt")
+	}
+	if inTok > card.ContextWindow {
+		return nil, fmt.Errorf("llm: prompt of %d tokens exceeds %s context window (%d)",
+			inTok, card.Name, card.ContextWindow)
+	}
+
+	// Deterministic failure injection, charged as a failed call.
+	s.mu.Lock()
+	s.calls++
+	call := s.calls
+	rate := s.failRate
+	s.mu.Unlock()
+	if rate > 0 && unit(fmt.Sprintf("fail|%d", call)) < rate {
+		s.account(card.Name, func(u *Usage) { u.Failures++ })
+		return nil, &TransientError{Msg: fmt.Sprintf("simulated rate limit on call %d", call)}
+	}
+
+	resp := &Response{Model: card.Name, InputTokens: inTok}
+	switch req.Task {
+	case TaskFilter:
+		decide(card, req, resp)
+	case TaskExtract:
+		extract(card, req, resp)
+	default:
+		return nil, fmt.Errorf("llm: unknown task %v", req.Task)
+	}
+	resp.OutputTokens = CountTokens(resp.Text)
+	if resp.OutputTokens == 0 {
+		resp.OutputTokens = 1
+	}
+	resp.CostUSD = card.Cost(resp.InputTokens, resp.OutputTokens)
+	resp.Latency = card.Latency(resp.InputTokens, resp.OutputTokens)
+
+	s.account(card.Name, func(u *Usage) {
+		u.Calls++
+		u.InputTokens += resp.InputTokens
+		u.OutputTokens += resp.OutputTokens
+		u.CostUSD += resp.CostUSD
+		u.Latency += resp.Latency
+	})
+	return resp, nil
+}
+
+func (s *Service) account(model string, f func(*Usage)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.usage[model]
+	if u == nil {
+		u = &Usage{}
+		s.usage[model] = u
+	}
+	f(u)
+}
+
+// Usage returns a snapshot of per-model usage.
+func (s *Service) Usage() map[string]Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Usage, len(s.usage))
+	for k, v := range s.usage {
+		out[k] = *v
+	}
+	return out
+}
+
+// TotalCost returns the cumulative dollar cost across models.
+func (s *Service) TotalCost() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var c float64
+	for _, u := range s.usage {
+		c += u.CostUSD
+	}
+	return c
+}
+
+// TotalCalls returns the cumulative successful call count.
+func (s *Service) TotalCalls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, u := range s.usage {
+		n += u.Calls
+	}
+	return n
+}
+
+// Reset clears usage accounting (not the failure configuration).
+func (s *Service) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage = map[string]*Usage{}
+	s.calls = 0
+}
+
+// UsageReport renders per-model usage as aligned text lines, best for chat
+// output and the experiment harness.
+func (s *Service) UsageReport() string {
+	usage := s.Usage()
+	models := make([]string, 0, len(usage))
+	for m := range usage {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %10s %10s %10s %12s\n",
+		"model", "calls", "in_tok", "out_tok", "cost_usd", "latency")
+	for _, m := range models {
+		u := usage[m]
+		fmt.Fprintf(&b, "%-14s %8d %10d %10d %10.4f %12s\n",
+			m, u.Calls, u.InputTokens, u.OutputTokens, u.CostUSD, u.Latency.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// unit maps a string deterministically to [0,1).
+func unit(key string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+// recordDigest derives a stable identity for noise decisions from record
+// content (not record IDs, which depend on allocation order).
+func recordDigest(r *record.Record) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(r.Text()))
+	return fmt.Sprintf("%x", h.Sum64())
+}

@@ -1,0 +1,198 @@
+// Package metrics scores pipeline outputs against the synthetic corpus
+// ground truth: filter classification quality (precision/recall/F1 against
+// gold labels) and extraction quality (entity-level matching against
+// ground-truth mentions). Experiments use it to show that the optimizer's
+// quality estimates order plans the same way measured F1 does.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/record"
+)
+
+// PRF is a precision/recall/F1 triple.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TP, FP, FN are the raw counts behind the rates.
+	TP, FP, FN int
+}
+
+// String renders the triple compactly.
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)",
+		m.Precision, m.Recall, m.F1, m.TP, m.FP, m.FN)
+}
+
+func prf(tp, fp, fn int) PRF {
+	m := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		m.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		m.Recall = float64(tp) / float64(tp+fn)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// FilterQuality scores a filter's kept set against gold labels: inputs are
+// all records that entered the filter, kept the subset it retained, and
+// predicate the natural-language condition. Records without ground truth
+// are skipped.
+func FilterQuality(inputs, kept []*record.Record, predicate string) PRF {
+	keptSet := make(map[int64]bool, len(kept))
+	for _, r := range kept {
+		keptSet[r.ID()] = true
+	}
+	var tp, fp, fn int
+	for _, r := range inputs {
+		truth := corpus.TruthOf(r)
+		if truth == nil {
+			continue
+		}
+		gold := llm.GoldFilterDecision(truth, predicate)
+		got := keptSet[r.ID()]
+		switch {
+		case gold && got:
+			tp++
+		case !gold && got:
+			fp++
+		case gold && !got:
+			fn++
+		}
+	}
+	return prf(tp, fp, fn)
+}
+
+// ExtractionQuality scores extracted records against ground-truth mentions
+// of the given kind. An extraction matches a mention when, for every field
+// both sides populate, the values agree (after trimming); matching is
+// greedy per source record via lineage-free filename pairing: each output
+// record's parent truth is read directly from the record's carried
+// annotations.
+func ExtractionQuality(sources, outputs []*record.Record, kind string) PRF {
+	// Gold entities per source (by truth pointer identity).
+	type ent struct {
+		fields  map[string]string
+		matched bool
+	}
+	goldByTruth := map[*corpus.Truth][]*ent{}
+	var totalGold int
+	for _, s := range sources {
+		truth := corpus.TruthOf(s)
+		if truth == nil {
+			continue
+		}
+		if _, done := goldByTruth[truth]; done {
+			continue
+		}
+		for _, m := range truth.MentionsOfKind(kind) {
+			goldByTruth[truth] = append(goldByTruth[truth], &ent{fields: m.Fields})
+			totalGold++
+		}
+	}
+	var tp, fp int
+	for _, out := range outputs {
+		truth := corpus.TruthOf(out)
+		matched := false
+		if truth != nil {
+			for _, g := range goldByTruth[truth] {
+				if !g.matched && extractionMatches(out, g.fields) {
+					g.matched = true
+					matched = true
+					break
+				}
+			}
+		}
+		if matched {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fn := totalGold - tp
+	return prf(tp, fp, fn)
+}
+
+// extractionMatches reports whether the record's populated fields agree
+// with the gold entity's fields on every attribute both sides know.
+func extractionMatches(r *record.Record, gold map[string]string) bool {
+	compared := 0
+	for _, f := range r.Schema().Fields() {
+		got := strings.TrimSpace(r.GetString(f.Name))
+		if got == "" {
+			continue
+		}
+		want, ok := matchGoldKey(f.Name, gold)
+		if !ok {
+			continue
+		}
+		compared++
+		if got != strings.TrimSpace(want) {
+			return false
+		}
+	}
+	return compared > 0
+}
+
+// matchGoldKey resolves a record field name against gold entity fields
+// (exact, then substring containment either way).
+func matchGoldKey(name string, gold map[string]string) (string, bool) {
+	if v, ok := gold[name]; ok {
+		return v, true
+	}
+	bestKey := ""
+	for k := range gold {
+		if (strings.Contains(name, k) || strings.Contains(k, name)) && (bestKey == "" || k < bestKey) {
+			bestKey = k
+		}
+	}
+	if bestKey == "" {
+		return "", false
+	}
+	return gold[bestKey], true
+}
+
+// FieldAccuracy measures per-field scalar extraction accuracy: for each
+// output record whose truth declares the gold field, it checks the record's
+// value. Returns fraction correct and the number of comparable records.
+func FieldAccuracy(outputs []*record.Record, recordField, goldField string) (float64, int) {
+	correct, total := 0, 0
+	for _, r := range outputs {
+		truth := corpus.TruthOf(r)
+		if truth == nil {
+			continue
+		}
+		want, ok := truth.Fields[goldField]
+		if !ok {
+			if n, nok := truth.Numbers[goldField]; nok {
+				want, ok = fmt.Sprintf("%g", n), true
+				// Integer-rendered numbers also count.
+				if r.GetString(recordField) == fmt.Sprintf("%d", int64(n)) {
+					correct++
+					total++
+					continue
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		total++
+		if strings.TrimSpace(r.GetString(recordField)) == strings.TrimSpace(want) {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(total), total
+}

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/ops"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/simclock"
+)
+
+var clinical = schema.MustNew("ClinicalData", "Datasets from papers.",
+	schema.Field{Name: "name", Type: schema.String, Desc: "dataset name"},
+	schema.Field{Name: "description", Type: schema.String, Desc: "description"},
+	schema.Field{Name: "url", Type: schema.String, Desc: "public URL"},
+)
+
+const demoPredicate = "The papers are about colorectal cancer"
+
+func biomedRecords(t *testing.T) []*record.Record {
+	t.Helper()
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	recs, err := corpus.Records(docs, schema.PDFFile, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func newCtx(t *testing.T) *ops.Ctx {
+	t.Helper()
+	svc := llm.NewService()
+	clock := simclock.NewSim()
+	client, err := llm.NewRetryClient(svc, clock, 3, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ops.Ctx{Client: client, Svc: svc, Clock: clock, Parallelism: 1, Stats: ops.NewRunStats()}
+}
+
+func TestPRFComputation(t *testing.T) {
+	m := prf(6, 2, 3)
+	if math.Abs(m.Precision-0.75) > 1e-9 {
+		t.Errorf("P = %v", m.Precision)
+	}
+	if math.Abs(m.Recall-6.0/9.0) > 1e-9 {
+		t.Errorf("R = %v", m.Recall)
+	}
+	wantF1 := 2 * 0.75 * (6.0 / 9.0) / (0.75 + 6.0/9.0)
+	if math.Abs(m.F1-wantF1) > 1e-9 {
+		t.Errorf("F1 = %v, want %v", m.F1, wantF1)
+	}
+	zero := prf(0, 0, 0)
+	if zero.Precision != 0 || zero.Recall != 0 || zero.F1 != 0 {
+		t.Errorf("zero prf = %+v", zero)
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFilterQualityPerfect(t *testing.T) {
+	recs := biomedRecords(t)
+	var kept []*record.Record
+	for _, r := range recs {
+		if llm.GoldFilterDecision(corpus.TruthOf(r), demoPredicate) {
+			kept = append(kept, r)
+		}
+	}
+	m := FilterQuality(recs, kept, demoPredicate)
+	if m.F1 != 1 || m.TP != 5 || m.FP != 0 || m.FN != 0 {
+		t.Fatalf("perfect filter = %v", m)
+	}
+}
+
+func TestFilterQualityWithErrors(t *testing.T) {
+	recs := biomedRecords(t)
+	var gold []*record.Record
+	for _, r := range recs {
+		if llm.GoldFilterDecision(corpus.TruthOf(r), demoPredicate) {
+			gold = append(gold, r)
+		}
+	}
+	// Miss one relevant, add one irrelevant.
+	var kept []*record.Record
+	kept = append(kept, gold[1:]...)
+	for _, r := range recs {
+		if !llm.GoldFilterDecision(corpus.TruthOf(r), demoPredicate) {
+			kept = append(kept, r)
+			break
+		}
+	}
+	m := FilterQuality(recs, kept, demoPredicate)
+	if m.TP != 4 || m.FP != 1 || m.FN != 1 {
+		t.Fatalf("metrics = %v", m)
+	}
+	if m.F1 >= 1 {
+		t.Error("imperfect filter scored 1.0")
+	}
+}
+
+func TestFilterQualitySkipsNoTruth(t *testing.T) {
+	r := record.MustNew(schema.TextFile, map[string]any{"contents": "x"})
+	m := FilterQuality([]*record.Record{r}, nil, "anything")
+	if m.TP+m.FP+m.FN != 0 {
+		t.Errorf("no-truth records counted: %v", m)
+	}
+}
+
+func TestExtractionQualityGoldPipeline(t *testing.T) {
+	recs := biomedRecords(t)
+	ctx := newCtx(t)
+	filter := &ops.LLMFilterExec{Filter: &ops.Filter{Predicate: demoPredicate}, Model: "atlas-large"}
+	kept, err := filter.Execute(ctx, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := &ops.LLMConvertExec{
+		Convert: &ops.Convert{Target: clinical, Desc: clinical.Doc(), Card: ops.OneToMany},
+		Model:   "atlas-large", Bonded: true,
+	}
+	out, err := conv.Execute(ctx, kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ExtractionQuality(recs, out, corpus.DatasetMentionKind)
+	if m.F1 != 1 || m.TP != 6 {
+		t.Fatalf("gold pipeline extraction = %v, want perfect 6/6", m)
+	}
+}
+
+func TestExtractionQualityWeakModelLower(t *testing.T) {
+	recs := biomedRecords(t)
+	score := func(model string) float64 {
+		ctx := newCtx(t)
+		var kept []*record.Record
+		for _, r := range recs {
+			if llm.GoldFilterDecision(corpus.TruthOf(r), demoPredicate) {
+				kept = append(kept, r)
+			}
+		}
+		conv := &ops.LLMConvertExec{
+			Convert: &ops.Convert{Target: clinical, Desc: clinical.Doc(), Card: ops.OneToMany},
+			Model:   model, Bonded: true,
+		}
+		out, err := conv.Execute(ctx, kept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ExtractionQuality(recs, out, corpus.DatasetMentionKind).F1
+	}
+	gold, weak := score("atlas-large"), score("pigeon-7b")
+	if weak >= gold {
+		t.Errorf("weak model F1 %.3f >= gold F1 %.3f", weak, gold)
+	}
+}
+
+func TestExtractionQualityCountsGarbledAsWrong(t *testing.T) {
+	recs := biomedRecords(t)
+	var src *record.Record
+	for _, r := range recs {
+		if len(corpus.TruthOf(r).MentionsOfKind(corpus.DatasetMentionKind)) > 0 {
+			src = r
+			break
+		}
+	}
+	m := corpus.TruthOf(src).MentionsOfKind(corpus.DatasetMentionKind)[0]
+	bad, err := src.Derive(clinical, map[string]any{
+		"name": m.Fields["name"] + "-x", // garbled
+		"url":  m.Fields["url"],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ExtractionQuality([]*record.Record{src}, []*record.Record{bad}, corpus.DatasetMentionKind)
+	if q.TP != 0 || q.FP != 1 {
+		t.Errorf("garbled extraction scored as correct: %v", q)
+	}
+}
+
+func TestFieldAccuracy(t *testing.T) {
+	docs := corpus.GenerateLegal(corpus.LegalConfig{NumContracts: 6, IndemnificationRate: 0.5, Seed: 4})
+	recs, _ := corpus.Records(docs, schema.TextFile, "legal")
+	parties := schema.MustNew("Parties", "",
+		schema.Field{Name: "party_a", Type: schema.String},
+	)
+	var outs []*record.Record
+	for i, r := range recs {
+		v := corpus.TruthOf(r).Fields["party_a"]
+		if i == 0 {
+			v = "Wrong Corp"
+		}
+		d, err := r.Derive(parties, map[string]any{"party_a": v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, d)
+	}
+	acc, n := FieldAccuracy(outs, "party_a", "party_a")
+	if n != 6 {
+		t.Fatalf("compared %d", n)
+	}
+	if math.Abs(acc-5.0/6.0) > 1e-9 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if _, n := FieldAccuracy(outs, "party_a", "no_such_field"); n != 0 {
+		t.Errorf("bogus gold field compared %d", n)
+	}
+}
+
+func TestFieldAccuracyNumeric(t *testing.T) {
+	docs := corpus.GenerateRealEstate(corpus.RealEstateConfig{NumListings: 3, ModernRate: 0.5, Seed: 5})
+	recs, _ := corpus.Records(docs, schema.TextFile, "re")
+	beds := schema.MustNew("Beds", "", schema.Field{Name: "bedrooms", Type: schema.Int})
+	var outs []*record.Record
+	for _, r := range recs {
+		d, err := r.Derive(beds, map[string]any{"bedrooms": int64(corpus.TruthOf(r).Numbers["bedrooms"])})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, d)
+	}
+	acc, n := FieldAccuracy(outs, "bedrooms", "bedrooms")
+	if n != 3 || acc != 1 {
+		t.Errorf("numeric accuracy = %v over %d", acc, n)
+	}
+}
+
+func TestExtractionQualityEmptyOutputs(t *testing.T) {
+	recs := biomedRecords(t)
+	m := ExtractionQuality(recs, nil, corpus.DatasetMentionKind)
+	if m.TP != 0 || m.FN != 6 || m.Recall != 0 {
+		t.Errorf("empty outputs = %v", m)
+	}
+}

@@ -1,0 +1,459 @@
+// Package ops implements Palimpzest's operators. Users compose *logical*
+// operators — Scan, Filter, Convert, plus the conventional relational
+// algebra (paper §2.1: "Palimpzest programs can be viewed as collections of
+// relational operators... users write logical plans only; the choice of the
+// physical implementation is deferred until runtime"). Each logical
+// operator exposes its candidate *physical* implementations; for LLM-backed
+// operators there is one physical per catalog model (and strategy), which
+// is exactly the plan space the optimizer searches.
+package ops
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Cardinality declares how many output records a Convert produces per
+// input (paper Figure 6: pz.Cardinality.ONE_TO_MANY).
+type Cardinality int
+
+// Cardinality values.
+const (
+	OneToOne Cardinality = iota
+	OneToMany
+)
+
+// String implements fmt.Stringer.
+func (c Cardinality) String() string {
+	if c == OneToMany {
+		return "ONE_TO_MANY"
+	}
+	return "ONE_TO_ONE"
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Logical is one logical operator in a plan.
+type Logical interface {
+	// Kind is the operator family name ("scan", "filter", "convert", ...).
+	Kind() string
+	// Describe renders the operator for plan displays and generated code.
+	Describe() string
+	// OutputSchema computes the schema of records the operator emits given
+	// its input schema.
+	OutputSchema(in *schema.Schema) (*schema.Schema, error)
+	// Physical returns the candidate physical implementations.
+	Physical() []Physical
+}
+
+// Scan reads a registered dataset; it is always the first operator.
+type Scan struct {
+	// Source is the dataset to read.
+	Source dataset.Source
+}
+
+// Kind implements Logical.
+func (s *Scan) Kind() string { return "scan" }
+
+// Describe implements Logical.
+func (s *Scan) Describe() string {
+	return fmt.Sprintf("scan(%q, schema=%s)", s.Source.Name(), s.Source.Schema().Name())
+}
+
+// OutputSchema implements Logical.
+func (s *Scan) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in != nil {
+		return nil, fmt.Errorf("ops: scan must be the first operator")
+	}
+	return s.Source.Schema(), nil
+}
+
+// Physical implements Logical.
+func (s *Scan) Physical() []Physical { return []Physical{&ScanExec{Source: s.Source}} }
+
+// Filter keeps records satisfying either a natural-language predicate or a
+// UDF (paper §2.1: "applies a natural language predicate or UDF").
+type Filter struct {
+	// Predicate is the natural-language condition (used when UDF is nil).
+	Predicate string
+	// UDF, when non-nil, decides records programmatically at zero LLM cost.
+	UDF func(*record.Record) (bool, error)
+	// UDFName labels the UDF in plan displays.
+	UDFName string
+}
+
+// Kind implements Logical.
+func (f *Filter) Kind() string { return "filter" }
+
+// Describe implements Logical.
+func (f *Filter) Describe() string {
+	if f.UDF != nil {
+		name := f.UDFName
+		if name == "" {
+			name = "udf"
+		}
+		return fmt.Sprintf("filter(udf=%s)", name)
+	}
+	return fmt.Sprintf("filter(%q)", f.Predicate)
+}
+
+// OutputSchema implements Logical.
+func (f *Filter) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: filter needs an input")
+	}
+	return in, nil
+}
+
+// Physical implements Logical: a UDF filter has exactly one implementation;
+// an NL filter has one per completion model plus the cheap embedding-
+// similarity implementation.
+func (f *Filter) Physical() []Physical {
+	if f.UDF != nil {
+		return []Physical{&UDFFilterExec{Filter: f}}
+	}
+	var out []Physical
+	for _, m := range completionModelNames() {
+		out = append(out, &LLMFilterExec{Filter: f, Model: m})
+	}
+	out = append(out, &EmbedFilterExec{Filter: f})
+	return out
+}
+
+// Convert transforms records into a target schema, computing the fields
+// that do not exist on the input (paper §2.1).
+type Convert struct {
+	// Target is the output schema.
+	Target *schema.Schema
+	// Desc guides extraction (usually the target schema's doc).
+	Desc string
+	// Card is OneToOne or OneToMany.
+	Card Cardinality
+}
+
+// Kind implements Logical.
+func (c *Convert) Kind() string { return "convert" }
+
+// Describe implements Logical.
+func (c *Convert) Describe() string {
+	return fmt.Sprintf("convert(%s, cardinality=%s)", c.Target.Name(), c.Card)
+}
+
+// OutputSchema implements Logical.
+func (c *Convert) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: convert needs an input")
+	}
+	if c.Target == nil {
+		return nil, fmt.Errorf("ops: convert without target schema")
+	}
+	return c.Target, nil
+}
+
+// Physical implements Logical: one per (model, strategy) pair — bonded
+// (all fields in one call) and field-at-a-time.
+func (c *Convert) Physical() []Physical {
+	var out []Physical
+	for _, m := range completionModelNames() {
+		out = append(out, &LLMConvertExec{Convert: c, Model: m, Bonded: true})
+		out = append(out, &LLMConvertExec{Convert: c, Model: m, Bonded: false})
+	}
+	return out
+}
+
+// Project restricts records to a subset of fields.
+type Project struct {
+	// Fields are the names to keep, in output order.
+	Fields []string
+}
+
+// Kind implements Logical.
+func (p *Project) Kind() string { return "project" }
+
+// Describe implements Logical.
+func (p *Project) Describe() string {
+	return fmt.Sprintf("project(%s)", strings.Join(p.Fields, ", "))
+}
+
+// OutputSchema implements Logical.
+func (p *Project) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: project needs an input")
+	}
+	return in.Project(p.Fields...)
+}
+
+// Physical implements Logical.
+func (p *Project) Physical() []Physical { return []Physical{&ProjectExec{Project: p}} }
+
+// Limit caps the number of records.
+type Limit struct {
+	// N is the maximum records to emit.
+	N int
+}
+
+// Kind implements Logical.
+func (l *Limit) Kind() string { return "limit" }
+
+// Describe implements Logical.
+func (l *Limit) Describe() string { return fmt.Sprintf("limit(%d)", l.N) }
+
+// OutputSchema implements Logical.
+func (l *Limit) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: limit needs an input")
+	}
+	if l.N < 0 {
+		return nil, fmt.Errorf("ops: limit(%d)", l.N)
+	}
+	return in, nil
+}
+
+// Physical implements Logical.
+func (l *Limit) Physical() []Physical { return []Physical{&LimitExec{Limit: l}} }
+
+// Distinct removes duplicate records by the given fields (all fields when
+// empty).
+type Distinct struct {
+	// Fields are the deduplication key (empty = every field).
+	Fields []string
+}
+
+// Kind implements Logical.
+func (d *Distinct) Kind() string { return "distinct" }
+
+// Describe implements Logical.
+func (d *Distinct) Describe() string {
+	if len(d.Fields) == 0 {
+		return "distinct()"
+	}
+	return fmt.Sprintf("distinct(%s)", strings.Join(d.Fields, ", "))
+}
+
+// OutputSchema implements Logical.
+func (d *Distinct) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: distinct needs an input")
+	}
+	for _, f := range d.Fields {
+		if !in.Has(f) {
+			return nil, fmt.Errorf("ops: distinct: no field %q in %s", f, in.Name())
+		}
+	}
+	return in, nil
+}
+
+// Physical implements Logical.
+func (d *Distinct) Physical() []Physical { return []Physical{&DistinctExec{Distinct: d}} }
+
+// Aggregate reduces the input to a single record (paper §2.1: "All other
+// operations (e.g., Aggregation) follow conventional database semantics").
+type Aggregate struct {
+	// Func is the aggregate function.
+	Func AggFunc
+	// Field is the numeric field to aggregate (ignored for count).
+	Field string
+}
+
+// Kind implements Logical.
+func (a *Aggregate) Kind() string { return "aggregate" }
+
+// Describe implements Logical.
+func (a *Aggregate) Describe() string {
+	if a.Func == AggCount {
+		return "aggregate(count)"
+	}
+	return fmt.Sprintf("aggregate(%s(%s))", a.Func, a.Field)
+}
+
+// OutputSchema implements Logical.
+func (a *Aggregate) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: aggregate needs an input")
+	}
+	if a.Func != AggCount && !in.Has(a.Field) {
+		return nil, fmt.Errorf("ops: aggregate: no field %q in %s", a.Field, in.Name())
+	}
+	return aggSchema(a.Func, a.Field), nil
+}
+
+func aggSchema(f AggFunc, field string) *schema.Schema {
+	name := "Agg_" + f.String()
+	if field != "" {
+		name += "_" + field
+	}
+	return schema.MustNew(name, "Aggregate result.",
+		schema.Field{Name: "value", Type: schema.Float, Desc: "The aggregate value."},
+		schema.Field{Name: "count", Type: schema.Int, Desc: "Number of input records."},
+	)
+}
+
+// Physical implements Logical.
+func (a *Aggregate) Physical() []Physical { return []Physical{&AggregateExec{Aggregate: a}} }
+
+// GroupBy groups records by key fields and computes one aggregate per
+// group.
+type GroupBy struct {
+	// Keys are the grouping fields.
+	Keys []string
+	// Func and Field define the per-group aggregate.
+	Func  AggFunc
+	Field string
+}
+
+// Kind implements Logical.
+func (g *GroupBy) Kind() string { return "groupby" }
+
+// Describe implements Logical.
+func (g *GroupBy) Describe() string {
+	return fmt.Sprintf("groupby(%s; %s(%s))", strings.Join(g.Keys, ", "), g.Func, g.Field)
+}
+
+// OutputSchema implements Logical.
+func (g *GroupBy) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: groupby needs an input")
+	}
+	if len(g.Keys) == 0 {
+		return nil, fmt.Errorf("ops: groupby without keys")
+	}
+	fields := make([]schema.Field, 0, len(g.Keys)+2)
+	for _, k := range g.Keys {
+		f, ok := in.Field(k)
+		if !ok {
+			return nil, fmt.Errorf("ops: groupby: no field %q in %s", k, in.Name())
+		}
+		fields = append(fields, f)
+	}
+	if g.Func != AggCount && !in.Has(g.Field) {
+		return nil, fmt.Errorf("ops: groupby: no field %q in %s", g.Field, in.Name())
+	}
+	fields = append(fields,
+		schema.Field{Name: "value", Type: schema.Float, Desc: "The aggregate value."},
+		schema.Field{Name: "count", Type: schema.Int, Desc: "Group size."},
+	)
+	return schema.New("Group_"+g.Func.String(), "Grouped aggregate.", fields...)
+}
+
+// Physical implements Logical.
+func (g *GroupBy) Physical() []Physical { return []Physical{&GroupByExec{GroupBy: g}} }
+
+// Sort orders records by a field.
+type Sort struct {
+	// Field is the sort key.
+	Field string
+	// Descending reverses the order.
+	Descending bool
+}
+
+// Kind implements Logical.
+func (s *Sort) Kind() string { return "sort" }
+
+// Describe implements Logical.
+func (s *Sort) Describe() string {
+	dir := "asc"
+	if s.Descending {
+		dir = "desc"
+	}
+	return fmt.Sprintf("sort(%s %s)", s.Field, dir)
+}
+
+// OutputSchema implements Logical.
+func (s *Sort) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: sort needs an input")
+	}
+	if !in.Has(s.Field) {
+		return nil, fmt.Errorf("ops: sort: no field %q in %s", s.Field, in.Name())
+	}
+	return in, nil
+}
+
+// Physical implements Logical.
+func (s *Sort) Physical() []Physical { return []Physical{&SortExec{Sort: s}} }
+
+// Retrieve keeps the top-K records most semantically similar to Query,
+// using the embedding model and a vector index.
+type Retrieve struct {
+	// Query is the natural-language retrieval query.
+	Query string
+	// K is how many records to keep.
+	K int
+}
+
+// Kind implements Logical.
+func (r *Retrieve) Kind() string { return "retrieve" }
+
+// Describe implements Logical.
+func (r *Retrieve) Describe() string { return fmt.Sprintf("retrieve(%q, k=%d)", r.Query, r.K) }
+
+// OutputSchema implements Logical.
+func (r *Retrieve) OutputSchema(in *schema.Schema) (*schema.Schema, error) {
+	if in == nil {
+		return nil, fmt.Errorf("ops: retrieve needs an input")
+	}
+	if r.K <= 0 {
+		return nil, fmt.Errorf("ops: retrieve k=%d", r.K)
+	}
+	return in, nil
+}
+
+// Physical implements Logical.
+func (r *Retrieve) Physical() []Physical { return []Physical{&RetrieveExec{Retrieve: r}} }
+
+// ValidatePlan type-checks a logical operator chain and returns the final
+// output schema.
+func ValidatePlan(chain []Logical) (*schema.Schema, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("ops: empty plan")
+	}
+	if _, ok := chain[0].(*Scan); !ok {
+		return nil, fmt.Errorf("ops: plan must start with a scan, got %s", chain[0].Kind())
+	}
+	var cur *schema.Schema
+	for i, op := range chain {
+		if i > 0 {
+			if _, ok := op.(*Scan); ok {
+				return nil, fmt.Errorf("ops: scan at position %d (only position 0 allowed)", i)
+			}
+		}
+		next, err := op.OutputSchema(cur)
+		if err != nil {
+			return nil, fmt.Errorf("ops: operator %d (%s): %w", i, op.Kind(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,276 @@
+package ops
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/record"
+	"repro/internal/simclock"
+)
+
+// Estimate carries the optimizer's running cost-model state along a plan:
+// expected cardinality and record size flowing *into* an operator, and the
+// accumulated cost, time, and quality of the plan prefix.
+type Estimate struct {
+	// Cardinality is the expected number of records at this point.
+	Cardinality float64
+	// AvgTokens is the expected tokens per record's text.
+	AvgTokens float64
+	// CostUSD is the accumulated expected dollar cost.
+	CostUSD float64
+	// TimeSec is the accumulated expected runtime in seconds (sequential).
+	TimeSec float64
+	// Quality is the accumulated expected output quality in (0,1],
+	// multiplied across operators the way Palimpzest composes per-operator
+	// quality estimates.
+	Quality float64
+}
+
+// Physical is one physical implementation of a logical operator.
+type Physical interface {
+	// ID uniquely identifies the implementation, e.g.
+	// "llm-filter(atlas-large)".
+	ID() string
+	// Kind echoes the logical operator family.
+	Kind() string
+	// Estimate advances the cost model across this operator.
+	Estimate(in Estimate) Estimate
+	// Execute processes a record batch.
+	Execute(ctx *Ctx, in []*record.Record) ([]*record.Record, error)
+}
+
+// Ctx is the execution context shared by physical operators in one run.
+type Ctx struct {
+	// Client performs completion calls (typically a retry client,
+	// optionally wrapped in a cache).
+	Client llm.Completer
+	// Svc performs embedding calls and holds usage accounting.
+	Svc *llm.Service
+	// Clock is advanced by operators to model LLM latency.
+	Clock simclock.Clock
+	// Parallelism is the maximum concurrent LLM calls per operator.
+	Parallelism int
+	// Stats collects per-operator execution statistics.
+	Stats *RunStats
+
+	curOp int
+}
+
+// SetCurrentOp tells the context which plan position is executing; the
+// executor calls this before each operator.
+func (c *Ctx) SetCurrentOp(idx int) { c.curOp = idx }
+
+// parallelismOrOne normalizes the parallelism setting.
+func (c *Ctx) parallelismOrOne() int {
+	if c.Parallelism < 1 {
+		return 1
+	}
+	return c.Parallelism
+}
+
+// OpStats is the per-operator execution record shown in the paper's
+// Figure 5 statistics panel.
+type OpStats struct {
+	// Position is the operator's index in the plan.
+	Position int
+	// OpID and Kind identify the physical operator.
+	OpID string
+	Kind string
+	// InRecords and OutRecords are the batch sizes.
+	InRecords  int
+	OutRecords int
+	// LLMCalls, InputTokens, OutputTokens, CostUSD account LLM work.
+	LLMCalls     int
+	InputTokens  int
+	OutputTokens int
+	CostUSD      float64
+	// Time is the simulated wall-clock the operator consumed.
+	Time time.Duration
+}
+
+// RunStats aggregates operator statistics for a pipeline run.
+type RunStats struct {
+	mu  sync.Mutex
+	ops map[int]*OpStats
+}
+
+// NewRunStats returns empty statistics.
+func NewRunStats() *RunStats { return &RunStats{ops: map[int]*OpStats{}} }
+
+func (s *RunStats) op(pos int, id, kind string) *OpStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.ops[pos]
+	if st == nil {
+		st = &OpStats{Position: pos, OpID: id, Kind: kind}
+		s.ops[pos] = st
+	}
+	return st
+}
+
+// noteBatch records batch sizes for an operator.
+func (s *RunStats) noteBatch(pos int, id, kind string, in, out int) {
+	st := s.op(pos, id, kind)
+	s.mu.Lock()
+	st.InRecords += in
+	st.OutRecords += out
+	s.mu.Unlock()
+}
+
+// noteLLM records one LLM response against an operator.
+func (s *RunStats) noteLLM(pos int, id, kind string, resp *llm.Response) {
+	st := s.op(pos, id, kind)
+	s.mu.Lock()
+	st.LLMCalls++
+	st.InputTokens += resp.InputTokens
+	st.OutputTokens += resp.OutputTokens
+	st.CostUSD += resp.CostUSD
+	s.mu.Unlock()
+}
+
+// noteTime records simulated time consumed by an operator.
+func (s *RunStats) noteTime(pos int, id, kind string, d time.Duration) {
+	st := s.op(pos, id, kind)
+	s.mu.Lock()
+	st.Time += d
+	s.mu.Unlock()
+}
+
+// Ops returns the per-operator stats ordered by plan position.
+func (s *RunStats) Ops() []OpStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OpStats, 0, len(s.ops))
+	for _, st := range s.ops {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Position < out[j].Position })
+	return out
+}
+
+// TotalCost sums operator costs.
+func (s *RunStats) TotalCost() float64 {
+	var c float64
+	for _, op := range s.Ops() {
+		c += op.CostUSD
+	}
+	return c
+}
+
+// TotalTime sums operator simulated time.
+func (s *RunStats) TotalTime() time.Duration {
+	var d time.Duration
+	for _, op := range s.Ops() {
+		d += op.Time
+	}
+	return d
+}
+
+// TotalLLMCalls sums operator LLM calls.
+func (s *RunStats) TotalLLMCalls() int {
+	n := 0
+	for _, op := range s.Ops() {
+		n += op.LLMCalls
+	}
+	return n
+}
+
+// completionModelNames lists catalog completion models, best-first.
+func completionModelNames() []string {
+	cards := llm.CompletionModels()
+	out := make([]string, len(cards))
+	for i, c := range cards {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// advanceForCalls advances the clock to account for a batch of concurrent
+// LLM calls: with parallelism p, elapsed time is max(longest single call,
+// total/p).
+func advanceForCalls(ctx *Ctx, latencies []time.Duration) time.Duration {
+	if len(latencies) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, l := range latencies {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	p := ctx.parallelismOrOne()
+	elapsed := sum / time.Duration(p)
+	if elapsed < max {
+		elapsed = max
+	}
+	ctx.Clock.Sleep(elapsed)
+	return elapsed
+}
+
+// runParallel applies fn to every record with bounded concurrency,
+// preserving input order of results. The first error cancels nothing (all
+// workers finish their current item) but is returned.
+func runParallel[T any](ctx *Ctx, in []*record.Record, fn func(*record.Record) (T, error)) ([]T, error) {
+	p := ctx.parallelismOrOne()
+	if p > len(in) {
+		p = len(in)
+	}
+	results := make([]T, len(in))
+	errs := make([]error, len(in))
+	if p <= 1 {
+		for i, r := range in {
+			results[i], errs[i] = fn(r)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = fn(in[i])
+				}
+			}()
+		}
+		for i := range in {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// dedupKey renders a record's selected fields as a map key.
+func dedupKey(r *record.Record, fields []string) string {
+	if len(fields) == 0 {
+		fields = r.Schema().FieldNames()
+	}
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		parts[i] = f + "=" + r.GetString(f)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// cheapOpSecs is the modeled runtime of a non-LLM operator per record.
+const cheapOpSecs = 0.0001
+
+// estimateCheap advances an Estimate across a zero-cost relational
+// operator with the given output cardinality.
+func estimateCheap(in Estimate, outCard float64) Estimate {
+	out := in
+	out.Cardinality = outCard
+	out.TimeSec += in.Cardinality * cheapOpSecs
+	return out
+}

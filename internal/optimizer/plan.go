@@ -1,0 +1,343 @@
+// Package optimizer implements Palimpzest's logical→physical optimization
+// (paper §2.1): it enumerates "a search space of all possible physical
+// plans" for a logical plan, estimates each plan's cost, runtime, and
+// quality, and "automatically ranks physical plans and selects the most
+// optimal one that meets user-defined preferences" — either a pure
+// objective (quality, cost, runtime) or a constrained combination ("maximize
+// the output quality while being under a certain latency").
+//
+// Estimation can be calibrated by sentinel sampling: the champion plan runs
+// over a small record sample to measure per-operator selectivity and
+// fan-out before full enumeration (the sample's LLM calls are charged to
+// usage, as in the real system).
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/ops"
+)
+
+// Plan is one fully-physical pipeline with its cost-model trajectory.
+type Plan struct {
+	// Logical is the source logical chain.
+	Logical []ops.Logical
+	// Ops are the chosen physical implementations, parallel to Logical.
+	Ops []ops.Physical
+	// PerOp[i] is the cost-model state after executing Ops[i].
+	PerOp []ops.Estimate
+	// Final is PerOp's last entry.
+	Final ops.Estimate
+	// ConstraintViolated reports that the selecting policy could not meet
+	// its constraint and fell back to the nearest plan.
+	ConstraintViolated bool
+}
+
+// String renders the plan as "op -> op -> op".
+func (p *Plan) String() string {
+	ids := make([]string, len(p.Ops))
+	for i, op := range p.Ops {
+		ids[i] = op.ID()
+	}
+	return strings.Join(ids, " -> ")
+}
+
+// Cost returns the plan's estimated total dollar cost.
+func (p *Plan) Cost() float64 { return p.Final.CostUSD }
+
+// Time returns the plan's estimated runtime in seconds.
+func (p *Plan) Time() float64 { return p.Final.TimeSec }
+
+// Quality returns the plan's estimated output quality in (0,1].
+func (p *Plan) Quality() float64 { return p.Final.Quality }
+
+// Options configures the optimizer.
+type Options struct {
+	// Pruning enables Pareto pruning of dominated plan prefixes during
+	// enumeration. Without it the full cartesian plan space is ranked.
+	Pruning bool
+	// SampleSize, when > 0, runs sentinel calibration over that many
+	// records before enumeration (requires a Ctx in Optimize).
+	SampleSize int
+	// MaxPlans caps the number of complete plans retained (0 = unlimited).
+	MaxPlans int
+}
+
+// Optimizer enumerates and ranks physical plans.
+type Optimizer struct {
+	opts Options
+}
+
+// New returns an optimizer with the given options.
+func New(opts Options) *Optimizer { return &Optimizer{opts: opts} }
+
+// InitialEstimate builds the cost-model seed for a logical chain: the scan
+// source's cardinality and average record size.
+func InitialEstimate(chain []ops.Logical) (ops.Estimate, error) {
+	if len(chain) == 0 {
+		return ops.Estimate{}, fmt.Errorf("optimizer: empty plan")
+	}
+	scan, ok := chain[0].(*ops.Scan)
+	if !ok {
+		return ops.Estimate{}, fmt.Errorf("optimizer: plan must start with scan")
+	}
+	recs, err := scan.Source.Records()
+	if err != nil {
+		return ops.Estimate{}, fmt.Errorf("optimizer: %w", err)
+	}
+	est := ops.Estimate{Cardinality: float64(len(recs)), Quality: 1}
+	if len(recs) > 0 {
+		// Average token size over (up to) the first 16 records.
+		n := len(recs)
+		if n > 16 {
+			n = 16
+		}
+		total := 0
+		for _, r := range recs[:n] {
+			total += llm.CountTokens(r.Text())
+		}
+		est.AvgTokens = float64(total) / float64(n)
+	}
+	return est, nil
+}
+
+// Optimize validates the chain, optionally calibrates, enumerates the
+// physical plan space, and selects with policy. It returns the chosen plan
+// and every candidate considered (for reporting). ctx is only needed when
+// SampleSize > 0.
+func (o *Optimizer) Optimize(chain []ops.Logical, policy Policy, ctx *ops.Ctx) (*Plan, []*Plan, error) {
+	if _, err := ops.ValidatePlan(chain); err != nil {
+		return nil, nil, err
+	}
+	if policy == nil {
+		return nil, nil, fmt.Errorf("optimizer: nil policy")
+	}
+	initial, err := InitialEstimate(chain)
+	if err != nil {
+		return nil, nil, err
+	}
+	var calib Calibration
+	if o.opts.SampleSize > 0 {
+		if ctx == nil {
+			return nil, nil, fmt.Errorf("optimizer: sampling requires an execution context")
+		}
+		calib, err = Calibrate(chain, o.opts.SampleSize, ctx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("optimizer: calibration: %w", err)
+		}
+	}
+	plans := o.enumerate(chain, initial, calib)
+	if len(plans) == 0 {
+		return nil, nil, fmt.Errorf("optimizer: no physical plans for %d-op chain", len(chain))
+	}
+	chosen, err := policy.Choose(plans)
+	if err != nil {
+		return nil, plans, err
+	}
+	return chosen, plans, nil
+}
+
+// enumerate expands the physical plan space left to right, applying
+// calibration overrides and (optionally) Pareto pruning after each step.
+func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib Calibration) []*Plan {
+	prefixes := []*Plan{{Logical: chain}}
+	for pos, lop := range chain {
+		options := lop.Physical()
+		for _, phys := range options {
+			calib.apply(pos, phys)
+		}
+		var next []*Plan
+		for _, prefix := range prefixes {
+			for _, phys := range options {
+				prev := initial
+				if len(prefix.PerOp) > 0 {
+					prev = prefix.PerOp[len(prefix.PerOp)-1]
+				}
+				est := phys.Estimate(prev)
+				np := &Plan{
+					Logical: chain,
+					Ops:     append(append([]ops.Physical{}, prefix.Ops...), phys),
+					PerOp:   append(append([]ops.Estimate{}, prefix.PerOp...), est),
+				}
+				next = append(next, np)
+			}
+		}
+		if o.opts.Pruning {
+			next = paretoPrune(next)
+		}
+		if o.opts.MaxPlans > 0 && len(next) > o.opts.MaxPlans {
+			next = next[:o.opts.MaxPlans]
+		}
+		prefixes = next
+	}
+	for _, p := range prefixes {
+		p.Final = p.PerOp[len(p.PerOp)-1]
+	}
+	return prefixes
+}
+
+// PlanSpaceSize returns the size of the unpruned physical plan space.
+func PlanSpaceSize(chain []ops.Logical) int {
+	size := 1
+	for _, lop := range chain {
+		size *= len(lop.Physical())
+	}
+	return size
+}
+
+// dominates reports whether a is at least as good as b on every dimension
+// and strictly better on one.
+func dominates(a, b *Plan) bool {
+	ea, eb := a.PerOp[len(a.PerOp)-1], b.PerOp[len(b.PerOp)-1]
+	if ea.CostUSD > eb.CostUSD || ea.TimeSec > eb.TimeSec || ea.Quality < eb.Quality {
+		return false
+	}
+	return ea.CostUSD < eb.CostUSD || ea.TimeSec < eb.TimeSec || ea.Quality > eb.Quality
+}
+
+// paretoPrune keeps only non-dominated plans, preserving input order.
+func paretoPrune(plans []*Plan) []*Plan {
+	var out []*Plan
+	for i, p := range plans {
+		dominated := false
+		for j, q := range plans {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+			// Exact ties: keep the earlier plan only.
+			if j < i && !dominates(p, q) && equalEst(p, q) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func equalEst(a, b *Plan) bool {
+	ea, eb := a.PerOp[len(a.PerOp)-1], b.PerOp[len(b.PerOp)-1]
+	return ea.CostUSD == eb.CostUSD && ea.TimeSec == eb.TimeSec && ea.Quality == eb.Quality
+}
+
+// Calibration holds per-logical-position measurements from sentinel
+// sampling.
+type Calibration map[int]OpCalibration
+
+// OpCalibration is one operator's measured behaviour on the sample.
+type OpCalibration struct {
+	// Selectivity is out/in for filters.
+	Selectivity float64
+	// Fanout is out/in for converts.
+	Fanout float64
+}
+
+// apply pushes calibrated parameters into a physical operator instance.
+func (c Calibration) apply(pos int, phys ops.Physical) {
+	if c == nil {
+		return
+	}
+	oc, ok := c[pos]
+	if !ok {
+		return
+	}
+	switch p := phys.(type) {
+	case *ops.LLMFilterExec:
+		p.SelEstimate = oc.Selectivity
+	case *ops.EmbedFilterExec:
+		p.SelEstimate = oc.Selectivity
+	case *ops.LLMConvertExec:
+		p.FanoutEstimate = oc.Fanout
+	}
+}
+
+// Calibrate runs the champion physical plan over the first sampleSize
+// records and measures per-operator selectivity/fan-out. The sample's LLM
+// usage is charged to the context's service, mirroring the real system's
+// sentinel execution cost.
+func Calibrate(chain []ops.Logical, sampleSize int, ctx *ops.Ctx) (Calibration, error) {
+	scan, ok := chain[0].(*ops.Scan)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: plan must start with scan")
+	}
+	all, err := scan.Source.Records()
+	if err != nil {
+		return nil, err
+	}
+	sample := all
+	if len(sample) > sampleSize {
+		sample = sample[:sampleSize]
+	}
+	calib := Calibration{}
+	recs := sample
+	for pos := 1; pos < len(chain); pos++ {
+		phys := champion(chain[pos])
+		if phys == nil {
+			continue
+		}
+		ctx.SetCurrentOp(pos)
+		out, err := phys.Execute(ctx, recs)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			ratio := float64(len(out)) / float64(len(recs))
+			switch chain[pos].(type) {
+			case *ops.Filter:
+				// Avoid a zero selectivity from a tiny sample wiping out
+				// downstream estimates entirely.
+				if ratio == 0 {
+					ratio = 0.5 / float64(len(recs)+1)
+				}
+				calib[pos] = OpCalibration{Selectivity: ratio}
+			case *ops.Convert:
+				calib[pos] = OpCalibration{Fanout: ratio}
+			}
+		}
+		recs = out
+	}
+	return calib, nil
+}
+
+// champion picks the highest-quality physical option of a logical operator
+// (the sentinel plan Palimpzest executes to ground its estimates).
+func champion(lop ops.Logical) ops.Physical {
+	options := lop.Physical()
+	if len(options) == 0 {
+		return nil
+	}
+	neutral := ops.Estimate{Cardinality: 1, AvgTokens: 100, Quality: 1}
+	best := options[0]
+	bestQ := best.Estimate(neutral).Quality
+	for _, opt := range options[1:] {
+		if q := opt.Estimate(neutral).Quality; q > bestQ {
+			best, bestQ = opt, q
+		}
+	}
+	return best
+}
+
+// ChampionPlan returns the all-champion physical plan (used by experiments
+// to execute the quality-reference pipeline directly).
+func ChampionPlan(chain []ops.Logical) ([]ops.Physical, error) {
+	if _, err := ops.ValidatePlan(chain); err != nil {
+		return nil, err
+	}
+	out := make([]ops.Physical, len(chain))
+	for i, lop := range chain {
+		p := champion(lop)
+		if p == nil {
+			return nil, fmt.Errorf("optimizer: no physical options for %s", lop.Kind())
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package optimizer
+
+import (
+	"testing"
+)
+
+// Frontier invariants over the real demo plan space: idempotence,
+// non-emptiness, and membership.
+func TestFrontierIdempotent(t *testing.T) {
+	chain := demoChain(t)
+	_, plans, err := New(Options{}).Optimize(chain, MaxQuality{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Frontier(plans)
+	twice := Frontier(once)
+	if len(once) != len(twice) {
+		t.Fatalf("frontier not idempotent: %d then %d", len(once), len(twice))
+	}
+	inPlans := map[*Plan]bool{}
+	for _, p := range plans {
+		inPlans[p] = true
+	}
+	for _, p := range once {
+		if !inPlans[p] {
+			t.Error("frontier invented a plan")
+		}
+	}
+}
+
+// dominates is irreflexive and antisymmetric on the candidate set.
+func TestDominatesPartialOrder(t *testing.T) {
+	chain := demoChain(t)
+	_, plans, err := New(Options{}).Optimize(chain, MaxQuality{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range plans {
+		if dominates(a, a) {
+			t.Fatalf("plan %d dominates itself", i)
+		}
+		for _, b := range plans {
+			if dominates(a, b) && dominates(b, a) {
+				t.Fatalf("mutual domination between %s and %s", a, b)
+			}
+		}
+	}
+}
+
+// Every policy's choice is a member of the candidate set and optimal under
+// a linear scan of its objective.
+func TestPolicyChoicesAreOptimal(t *testing.T) {
+	chain := demoChain(t)
+	_, plans, err := New(Options{}).Optimize(chain, MaxQuality{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := MaxQuality{}.Choose(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := MinCost{}.Choose(plans)
+	tt, _ := MinTime{}.Choose(plans)
+	for _, p := range plans {
+		if p.Quality() > q.Quality() {
+			t.Errorf("found higher quality than MaxQuality's choice")
+		}
+		if p.Cost() < c.Cost() {
+			t.Errorf("found cheaper than MinCost's choice")
+		}
+		if p.Time() < tt.Time() {
+			t.Errorf("found faster than MinTime's choice")
+		}
+	}
+	member := func(x *Plan) bool {
+		for _, p := range plans {
+			if p == x {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range []*Plan{q, c, tt} {
+		if !member(x) {
+			t.Error("policy chose a non-candidate plan")
+		}
+	}
+}
+
+// Filters only shrink estimated cardinality; converts with OneToOne keep
+// it; scan passes it through.
+func TestEstimateCardinalityMonotonicity(t *testing.T) {
+	chain := demoChain(t)
+	initial, err := InitialEstimate(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plans, err := New(Options{}).Optimize(chain, MaxQuality{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		// Position 1 is the filter: cardinality must not grow.
+		if p.PerOp[1].Cardinality > initial.Cardinality {
+			t.Errorf("filter grew cardinality: %v -> %v in %s",
+				initial.Cardinality, p.PerOp[1].Cardinality, p)
+		}
+		// Costs and times are non-decreasing along the plan.
+		for i := 1; i < len(p.PerOp); i++ {
+			if p.PerOp[i].CostUSD < p.PerOp[i-1].CostUSD {
+				t.Errorf("cost decreased along plan %s", p)
+			}
+			if p.PerOp[i].TimeSec < p.PerOp[i-1].TimeSec {
+				t.Errorf("time decreased along plan %s", p)
+			}
+			if p.PerOp[i].Quality > p.PerOp[i-1].Quality {
+				t.Errorf("quality increased along plan %s", p)
+			}
+		}
+	}
+}

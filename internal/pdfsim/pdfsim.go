@@ -1,0 +1,139 @@
+// Package pdfsim implements a tiny "PDF-like" container format standing in
+// for real PDFs (see DESIGN.md substitutions). The corpus generators write
+// documents in this format and the dataset layer's PDF reader extracts text
+// from it, exercising the same format-sniffing and text-extraction code
+// path that real Palimpzest exercises with a PDF parser.
+//
+// Layout:
+//
+//	%PDF-SIM 1.0\n
+//	Title: <title line>\n
+//	Pages: <n>\n
+//	\n
+//	<page text>\n
+//	\f                      (form feed between pages)
+//	<page text>\n
+//	%%EOF\n
+package pdfsim
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Magic is the header line identifying the container.
+const Magic = "%PDF-SIM 1.0"
+
+// trailer terminates the container.
+const trailer = "%%EOF"
+
+// pageSize is the number of text bytes per simulated page.
+const pageSize = 1600
+
+// Document is a parsed simulated PDF.
+type Document struct {
+	Title string
+	Pages []string
+}
+
+// Text returns the full extracted text of the document.
+func (d *Document) Text() string { return strings.Join(d.Pages, "\n") }
+
+// Encode wraps text into the container format, splitting it into pages.
+func Encode(title, text string) []byte {
+	pages := paginate(text)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\n", Magic)
+	fmt.Fprintf(&b, "Title: %s\n", sanitizeLine(title))
+	fmt.Fprintf(&b, "Pages: %d\n\n", len(pages))
+	for i, p := range pages {
+		if i > 0 {
+			b.WriteString("\f")
+		}
+		b.WriteString(p)
+		if !strings.HasSuffix(p, "\n") {
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "%s\n", trailer)
+	return b.Bytes()
+}
+
+func sanitizeLine(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, "\n", " "), "\r", " ")
+}
+
+func paginate(text string) []string {
+	if text == "" {
+		return []string{""}
+	}
+	var pages []string
+	for len(text) > pageSize {
+		// Break at the last newline before the page boundary when possible.
+		cut := pageSize
+		if i := strings.LastIndexByte(text[:pageSize], '\n'); i > pageSize/2 {
+			cut = i + 1
+		}
+		pages = append(pages, text[:cut])
+		text = text[cut:]
+	}
+	pages = append(pages, text)
+	return pages
+}
+
+// IsPDF reports whether data begins with the container magic.
+func IsPDF(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(Magic))
+}
+
+// Decode parses a container and returns the document. It validates the
+// header, page count, and trailer.
+func Decode(data []byte) (*Document, error) {
+	s := string(data)
+	lines := strings.SplitN(s, "\n", 4)
+	if len(lines) < 4 || lines[0] != Magic {
+		return nil, fmt.Errorf("pdfsim: bad or missing magic header")
+	}
+	title, ok := strings.CutPrefix(lines[1], "Title: ")
+	if !ok {
+		return nil, fmt.Errorf("pdfsim: missing Title header")
+	}
+	pagesDecl, ok := strings.CutPrefix(lines[2], "Pages: ")
+	if !ok {
+		return nil, fmt.Errorf("pdfsim: missing Pages header")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(pagesDecl))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("pdfsim: bad page count %q", pagesDecl)
+	}
+	body := lines[3]
+	if !strings.HasPrefix(body, "\n") {
+		return nil, fmt.Errorf("pdfsim: missing blank line after header")
+	}
+	body = body[1:]
+	end := strings.LastIndex(body, trailer)
+	if end < 0 {
+		return nil, fmt.Errorf("pdfsim: missing %s trailer", trailer)
+	}
+	body = strings.TrimSuffix(body[:end], "\n")
+	pages := strings.Split(body, "\f")
+	if len(pages) != n {
+		return nil, fmt.Errorf("pdfsim: header declares %d pages, found %d", n, len(pages))
+	}
+	for i, p := range pages {
+		pages[i] = strings.TrimSuffix(p, "\n")
+	}
+	return &Document{Title: title, Pages: pages}, nil
+}
+
+// ExtractText is the one-call Decode(...).Text() convenience used by the
+// dataset layer.
+func ExtractText(data []byte) (string, error) {
+	d, err := Decode(data)
+	if err != nil {
+		return "", err
+	}
+	return d.Text(), nil
+}

@@ -1,0 +1,114 @@
+package pdfsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	text := "Line one.\nLine two.\nLine three."
+	data := Encode("A Study", text)
+	if !IsPDF(data) {
+		t.Fatal("encoded document not recognized as PDF")
+	}
+	doc, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "A Study" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if got := doc.Text(); got != text {
+		t.Errorf("text = %q, want %q", got, text)
+	}
+}
+
+func TestEncodeMultiPage(t *testing.T) {
+	// Build text comfortably bigger than one page.
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		b.WriteString("This is sentence number with some padding text to fill pages.\n")
+	}
+	data := Encode("Long Doc", b.String())
+	doc, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Pages) < 2 {
+		t.Fatalf("pages = %d, want >= 2", len(doc.Pages))
+	}
+	joined := doc.Text()
+	if !strings.Contains(joined, "sentence number") {
+		t.Error("page text lost")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"no magic":      "hello world\nTitle: x\nPages: 1\n\nbody\n%%EOF\n",
+		"no title":      Magic + "\nNope: x\nPages: 1\n\nbody\n%%EOF\n",
+		"no pages":      Magic + "\nTitle: x\nNope: 1\n\nbody\n%%EOF\n",
+		"bad count":     Magic + "\nTitle: x\nPages: zero\n\nbody\n%%EOF\n",
+		"zero count":    Magic + "\nTitle: x\nPages: 0\n\nbody\n%%EOF\n",
+		"no trailer":    Magic + "\nTitle: x\nPages: 1\n\nbody\n",
+		"count too big": Magic + "\nTitle: x\nPages: 3\n\nbody\n%%EOF\n",
+	}
+	for name, in := range cases {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", name)
+		}
+	}
+}
+
+func TestIsPDFNegative(t *testing.T) {
+	if IsPDF([]byte("plain text")) {
+		t.Error("plain text recognized as PDF")
+	}
+	if IsPDF(nil) {
+		t.Error("nil recognized as PDF")
+	}
+}
+
+func TestExtractText(t *testing.T) {
+	data := Encode("T", "payload text")
+	got, err := ExtractText(data)
+	if err != nil || got != "payload text" {
+		t.Fatalf("ExtractText = %q, %v", got, err)
+	}
+	if _, err := ExtractText([]byte("junk")); err == nil {
+		t.Error("ExtractText accepted junk")
+	}
+}
+
+func TestTitleSanitized(t *testing.T) {
+	data := Encode("multi\nline\rtitle", "x")
+	doc, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(doc.Title, "\n\r") {
+		t.Errorf("title not sanitized: %q", doc.Title)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(title, text string) bool {
+		// Form feeds inside the text would collide with the page
+		// separator; the corpus generators never emit them.
+		if strings.ContainsAny(text, "\f") || strings.Contains(text, "%%EOF") {
+			return true
+		}
+		doc, err := Decode(Encode(title, text))
+		if err != nil {
+			return false
+		}
+		// Pagination may inject newlines at page joins; compare modulo
+		// newline placement.
+		norm := func(s string) string { return strings.ReplaceAll(s, "\n", "") }
+		return norm(doc.Text()) == norm(text)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

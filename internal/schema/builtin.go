@@ -1,0 +1,66 @@
+package schema
+
+// Built-in schemas mirroring Palimpzest's native file schemas. The demo
+// paper: "The core PalimpChat system includes a native PDFFile schema, which
+// is automatically chosen to parse the files in this dataset given their
+// extension. However, this schema only represents the filename and the raw
+// textual content extracted for a given paper."
+var (
+	// File is the base schema for any file record.
+	File = MustNew("File", "A file on disk.",
+		Field{Name: "filename", Type: String, Desc: "The name of the file."},
+		Field{Name: "contents", Type: Bytes, Desc: "The raw bytes of the file."},
+	)
+
+	// TextFile represents a plain-text file.
+	TextFile = MustNew("TextFile", "A plain text file.",
+		Field{Name: "filename", Type: String, Desc: "The name of the file."},
+		Field{Name: "contents", Type: String, Desc: "The full textual contents of the file."},
+	)
+
+	// PDFFile represents a PDF document with its extracted text.
+	PDFFile = MustNew("PDFFile", "A PDF file with extracted text.",
+		Field{Name: "filename", Type: String, Desc: "The name of the PDF file."},
+		Field{Name: "contents", Type: String, Desc: "The raw textual content extracted from the PDF."},
+	)
+
+	// CSVRow represents one row of a CSV file as raw cells.
+	CSVRow = MustNew("CSVRow", "One row of a CSV file.",
+		Field{Name: "filename", Type: String, Desc: "The source CSV file."},
+		Field{Name: "row", Type: Int, Desc: "The 0-based row number."},
+		Field{Name: "cells", Type: StringList, Desc: "The raw cell values of the row."},
+	)
+
+	// JSONObject represents one JSON object record.
+	JSONObject = MustNew("JSONObject", "A JSON object record.",
+		Field{Name: "filename", Type: String, Desc: "The source JSON file."},
+		Field{Name: "contents", Type: String, Desc: "The JSON text of the object."},
+	)
+
+	// WebPage represents a fetched or stored web page.
+	WebPage = MustNew("WebPage", "A web page with extracted text.",
+		Field{Name: "url", Type: String, Desc: "The URL of the page."},
+		Field{Name: "title", Type: String, Desc: "The page title."},
+		Field{Name: "contents", Type: String, Desc: "The visible text of the page."},
+	)
+)
+
+// ForExtension returns the built-in schema Palimpzest would auto-select for
+// a file extension (with the leading dot, e.g. ".pdf"). The bool result
+// reports whether a specific schema was found; callers fall back to TextFile.
+func ForExtension(ext string) (*Schema, bool) {
+	switch ext {
+	case ".pdf":
+		return PDFFile, true
+	case ".txt", ".md", ".text":
+		return TextFile, true
+	case ".csv":
+		return CSVRow, true
+	case ".json":
+		return JSONObject, true
+	case ".html", ".htm":
+		return WebPage, true
+	default:
+		return TextFile, false
+	}
+}

@@ -1,0 +1,125 @@
+// Package simclock provides a virtual clock abstraction so that the
+// simulated LLM substrate can model wall-clock latency (the paper reports a
+// 240 s pipeline runtime) without tests and benchmarks actually sleeping.
+//
+// Two implementations are provided: Real, which delegates to the time
+// package, and Sim, which advances instantly and records total simulated
+// elapsed time. Execution statistics in internal/exec report the simulated
+// duration, reproducing the shape of the paper's runtime numbers.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal clock surface used by the execution engine and the
+// simulated LLM service.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Sleep advances the clock by d. A simulated clock returns immediately.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the time package.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Sim is a virtual clock. Sleep advances the virtual time without blocking.
+// It is safe for concurrent use: parallel executors from internal/exec may
+// advance it from many goroutines. In that case the total advances by the
+// sum of sleeps, which models sequential LLM latency; parallel sections
+// should use AdvanceMax blocks instead (see Group).
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSim returns a virtual clock starting at a fixed epoch so that runs are
+// reproducible.
+func NewSim() *Sim {
+	return &Sim{now: time.Date(2025, 6, 22, 9, 0, 0, 0, time.UTC)}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock by advancing virtual time.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+}
+
+// Advance is an alias for Sleep, provided for call sites where "advance"
+// reads better than "sleep" (e.g. the executor accounting for parallelism).
+func (s *Sim) Advance(d time.Duration) { s.Sleep(d) }
+
+// Elapsed returns the virtual time elapsed since the epoch.
+func (s *Sim) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now.Sub(time.Date(2025, 6, 22, 9, 0, 0, 0, time.UTC))
+}
+
+// Group tracks the maximum of a set of concurrent durations. A parallel
+// executor runs k operator invocations at once; the virtual clock should
+// advance by the maximum branch latency, not the sum. Typical use:
+//
+//	g := simclock.NewGroup()
+//	... each branch calls g.Record(latency) ...
+//	clock.Sleep(g.Max())
+type Group struct {
+	mu  sync.Mutex
+	max time.Duration
+	sum time.Duration
+	n   int
+}
+
+// NewGroup returns an empty Group.
+func NewGroup() *Group { return &Group{} }
+
+// Record notes one branch's duration.
+func (g *Group) Record(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if d > g.max {
+		g.max = d
+	}
+	g.sum += d
+	g.n++
+}
+
+// Max returns the maximum recorded duration.
+func (g *Group) Max() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// Sum returns the sum of recorded durations.
+func (g *Group) Sum() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sum
+}
+
+// Count returns how many durations were recorded.
+func (g *Group) Count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

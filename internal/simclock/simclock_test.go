@@ -1,0 +1,90 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimSleepAdvances(t *testing.T) {
+	c := NewSim()
+	start := c.Now()
+	c.Sleep(3 * time.Second)
+	if got := c.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("elapsed = %v, want 3s", got)
+	}
+}
+
+func TestSimSleepNonPositive(t *testing.T) {
+	c := NewSim()
+	start := c.Now()
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("clock moved on non-positive sleep: %v -> %v", start, got)
+	}
+}
+
+func TestSimElapsed(t *testing.T) {
+	c := NewSim()
+	c.Sleep(90 * time.Second)
+	c.Advance(30 * time.Second)
+	if got := c.Elapsed(); got != 120*time.Second {
+		t.Fatalf("Elapsed = %v, want 2m", got)
+	}
+}
+
+func TestSimConcurrentSleeps(t *testing.T) {
+	c := NewSim()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Sleep(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := c.Elapsed(); got != 100*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 100ms", got)
+	}
+}
+
+func TestGroupMaxSumCount(t *testing.T) {
+	g := NewGroup()
+	var wg sync.WaitGroup
+	for i := 1; i <= 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Record(time.Duration(i) * time.Second)
+		}(i)
+	}
+	wg.Wait()
+	if g.Max() != 10*time.Second {
+		t.Errorf("Max = %v, want 10s", g.Max())
+	}
+	if g.Sum() != 55*time.Second {
+		t.Errorf("Sum = %v, want 55s", g.Sum())
+	}
+	if g.Count() != 10 {
+		t.Errorf("Count = %d, want 10", g.Count())
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestSimEpochIsStable(t *testing.T) {
+	a, b := NewSim(), NewSim()
+	if !a.Now().Equal(b.Now()) {
+		t.Fatalf("two fresh sim clocks disagree: %v vs %v", a.Now(), b.Now())
+	}
+}

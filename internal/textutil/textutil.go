@@ -1,0 +1,316 @@
+// Package textutil provides the lightweight natural-language substrate used
+// across the repository: tokenization, stopword removal, a small suffix
+// stemmer, tf-idf vectorization, cosine similarity, and keyword extraction.
+//
+// Two consumers depend on it: the Archytas planner (internal/agent), which
+// scores tool docstrings against user utterances, and the simulated LLM
+// semantic fallback (internal/llm), which evaluates natural-language
+// predicates against record text when no corpus ground truth is available.
+package textutil
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// stopwords is a compact English stopword list. It intentionally keeps
+// domain-ish words ("data", "model") because those carry signal for tool
+// routing.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true, "but": true,
+	"if": true, "then": true, "else": true, "of": true, "to": true, "in": true,
+	"on": true, "at": true, "by": true, "for": true, "with": true, "about": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true, "been": true,
+	"being": true, "am": true, "do": true, "does": true, "did": true, "can": true,
+	"could": true, "should": true, "would": true, "will": true, "shall": true,
+	"may": true, "might": true, "must": true, "this": true, "that": true,
+	"these": true, "those": true, "it": true, "its": true, "i": true, "we": true,
+	"you": true, "they": true, "he": true, "she": true, "them": true, "us": true,
+	"my": true, "our": true, "your": true, "their": true, "me": true,
+	"as": true, "from": true, "into": true, "out": true, "up": true, "down": true,
+	"not": true, "no": true, "so": true, "than": true, "too": true, "very": true,
+	"just": true, "there": true, "here": true, "when": true, "where": true,
+	"which": true, "who": true, "whom": true, "what": true, "how": true,
+	"all": true, "any": true, "each": true, "some": true, "such": true,
+	"only": true, "own": true, "same": true, "both": true, "more": true,
+	"most": true, "other": true, "please": true, "want": true, "like": true,
+	"would_like": true, "im": true, "id": true, "lets": true, "let": true,
+}
+
+// IsStopword reports whether the lowercase token w is a stopword.
+func IsStopword(w string) bool { return stopwords[strings.ToLower(w)] }
+
+// Tokenize splits text into lowercase word tokens. Runs of letters and
+// digits form tokens; everything else is a separator. Apostrophes inside
+// words are dropped ("don't" -> "dont") so contractions stay single tokens.
+func Tokenize(text string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'' || r == '’':
+			// drop apostrophes inside words
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Stem applies a tiny suffix-stripping stemmer (a pragmatic subset of
+// Porter's rules). It is deliberately conservative: it only strips when the
+// remaining stem is at least three characters, so short domain terms survive.
+func Stem(w string) string {
+	if len(w) <= 3 {
+		return w
+	}
+	suffixes := []struct {
+		suf, rep string
+	}{
+		{"ization", "ize"}, {"ational", "ate"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"iveness", "ive"}, {"tional", "tion"},
+		{"biliti", "ble"}, {"lessli", "less"},
+		{"ation", "ate"}, {"izer", "ize"}, {"ator", "ate"},
+		{"alism", "al"}, {"aliti", "al"}, {"iviti", "ive"},
+		{"ements", ""}, {"ement", ""},
+		{"ingly", ""}, {"edly", ""},
+		{"ies", "y"}, {"ied", "y"},
+		{"sses", "ss"}, {"ness", ""}, {"ion", ""},
+		{"ing", ""}, {"ed", ""}, {"ly", ""}, {"es", ""},
+		{"s", ""},
+	}
+	for _, s := range suffixes {
+		if strings.HasSuffix(w, s.suf) {
+			stem := w[:len(w)-len(s.suf)] + s.rep
+			if len(stem) >= 3 {
+				// Undouble trailing consonants introduced by -ing/-ed
+				// stripping ("filtering"->"filter", "stopped"->"stop").
+				if (s.suf == "ing" || s.suf == "ed") && len(stem) >= 4 {
+					last := stem[len(stem)-1]
+					prev := stem[len(stem)-2]
+					if last == prev && !isVowel(rune(last)) && last != 'l' && last != 's' && last != 'z' {
+						stem = stem[:len(stem)-1]
+					}
+				}
+				return stem
+			}
+		}
+	}
+	return w
+}
+
+func isVowel(r rune) bool {
+	switch r {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// Terms tokenizes, removes stopwords, and stems. This is the canonical text
+// normalization used for all similarity computations in the repository.
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if stopwords[t] {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}
+
+// TermFreq returns the term-frequency map of the normalized terms of text.
+func TermFreq(text string) map[string]float64 {
+	tf := map[string]float64{}
+	for _, t := range Terms(text) {
+		tf[t]++
+	}
+	return tf
+}
+
+// Cosine returns the cosine similarity between two term-frequency vectors.
+// It returns 0 when either vector is empty.
+func Cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Iterate over the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, av := range a {
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (norm(a) * norm(b))
+}
+
+func norm(v map[string]float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Overlap returns |terms(a) ∩ terms(b)| / |terms(a)|: the fraction of a's
+// normalized terms that also appear in b. Useful as an asymmetric "is the
+// query covered by the document" score. Returns 0 when a has no terms.
+func Overlap(a, b string) float64 {
+	ta := Terms(a)
+	if len(ta) == 0 {
+		return 0
+	}
+	tb := map[string]bool{}
+	for _, t := range Terms(b) {
+		tb[t] = true
+	}
+	hit := 0
+	seen := map[string]bool{}
+	uniq := 0
+	for _, t := range ta {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		uniq++
+		if tb[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(uniq)
+}
+
+// Corpus is a tf-idf model over a set of documents. Build one with
+// NewCorpus, then Vectorize queries/documents against it and compare with
+// Cosine. Zero-value Corpus is not usable.
+type Corpus struct {
+	docFreq map[string]int
+	numDocs int
+}
+
+// NewCorpus builds a tf-idf model from the given documents.
+func NewCorpus(docs []string) *Corpus {
+	c := &Corpus{docFreq: map[string]int{}}
+	for _, d := range docs {
+		c.Add(d)
+	}
+	return c
+}
+
+// Add incorporates one document into the document-frequency statistics.
+func (c *Corpus) Add(doc string) {
+	c.numDocs++
+	seen := map[string]bool{}
+	for _, t := range Terms(doc) {
+		if !seen[t] {
+			seen[t] = true
+			c.docFreq[t]++
+		}
+	}
+}
+
+// NumDocs returns the number of documents added to the corpus.
+func (c *Corpus) NumDocs() int { return c.numDocs }
+
+// IDF returns the smoothed inverse document frequency of term t.
+func (c *Corpus) IDF(t string) float64 {
+	df := c.docFreq[t]
+	return math.Log(float64(c.numDocs+1)/float64(df+1)) + 1
+}
+
+// Vectorize returns the tf-idf vector of text under this corpus.
+func (c *Corpus) Vectorize(text string) map[string]float64 {
+	v := map[string]float64{}
+	for t, f := range TermFreq(text) {
+		v[t] = f * c.IDF(t)
+	}
+	return v
+}
+
+// Similarity is a convenience for Cosine(Vectorize(a), Vectorize(b)).
+func (c *Corpus) Similarity(a, b string) float64 {
+	return Cosine(c.Vectorize(a), c.Vectorize(b))
+}
+
+// Keywords returns the top-k terms of text ranked by tf-idf weight under the
+// corpus. Ties break lexicographically so output is deterministic.
+func (c *Corpus) Keywords(text string, k int) []string {
+	v := c.Vectorize(text)
+	type kw struct {
+		term string
+		w    float64
+	}
+	all := make([]kw, 0, len(v))
+	for t, w := range v {
+		all = append(all, kw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].term < all[j].term
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].term
+	}
+	return out
+}
+
+// Sentences splits text into sentences on ., !, ? followed by whitespace.
+// It keeps abbreviating periods inside tokens like "e.g." imperfectly; this
+// is adequate for the synthetic corpora which are generated with regular
+// punctuation.
+func Sentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	rs := []rune(text)
+	for i := 0; i < len(rs); i++ {
+		b.WriteRune(rs[i])
+		if rs[i] == '.' || rs[i] == '!' || rs[i] == '?' {
+			if i+1 >= len(rs) || unicode.IsSpace(rs[i+1]) {
+				s := strings.TrimSpace(b.String())
+				if s != "" {
+					out = append(out, s)
+				}
+				b.Reset()
+			}
+		}
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// TruncateWords returns at most n whitespace-separated words of s, appending
+// an ellipsis when truncation occurred.
+func TruncateWords(s string, n int) string {
+	fields := strings.Fields(s)
+	if len(fields) <= n {
+		return s
+	}
+	return strings.Join(fields[:n], " ") + "…"
+}

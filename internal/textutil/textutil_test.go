@@ -1,0 +1,230 @@
+package textutil
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	got := Tokenize("Filter the Papers, about colorectal-cancer!")
+	want := []string{"filter", "the", "papers", "about", "colorectal", "cancer"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeApostrophes(t *testing.T) {
+	got := Tokenize("don't can't we're")
+	want := []string{"dont", "cant", "were"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmptyAndPunct(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	if got := Tokenize("...!!!,,,"); len(got) != 0 {
+		t.Errorf("Tokenize(punct) = %v", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Tumör Zürich café")
+	want := []string{"tumör", "zürich", "café"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"filtering":   "filter",
+		"filtered":    "filter",
+		"filters":     "filter",
+		"datasets":    "dataset",
+		"extraction":  "extract",
+		"studies":     "study",
+		"cancers":     "cancer",
+		"running":     "run",
+		"stopped":     "stop",
+		"cat":         "cat",
+		"aggregation": "aggregate",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemNeverTooShort(t *testing.T) {
+	f := func(s string) bool {
+		w := strings.ToLower(s)
+		st := Stem(w)
+		return len(w) <= 3 || len(st) >= 3 || st == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermsDropsStopwords(t *testing.T) {
+	got := Terms("the papers are about colorectal cancer")
+	for _, g := range got {
+		if IsStopword(g) {
+			t.Errorf("stopword %q survived Terms", g)
+		}
+	}
+	joined := strings.Join(got, " ")
+	if !strings.Contains(joined, "cancer") || !strings.Contains(joined, "colorectal") {
+		t.Errorf("content words missing from %v", got)
+	}
+}
+
+func TestCosineIdentical(t *testing.T) {
+	v := TermFreq("colorectal cancer gene mutation study")
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self-cosine = %v, want 1", got)
+	}
+}
+
+func TestCosineOrthogonal(t *testing.T) {
+	a := TermFreq("colorectal cancer")
+	b := TermFreq("mortgage refinancing")
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("orthogonal cosine = %v, want 0", got)
+	}
+}
+
+func TestCosineEmpty(t *testing.T) {
+	if got := Cosine(nil, TermFreq("x y z")); got != 0 {
+		t.Fatalf("empty cosine = %v", got)
+	}
+}
+
+func TestCosineSymmetricAndBounded(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := TermFreq(a), TermFreq(b)
+		x, y := Cosine(va, vb), Cosine(vb, va)
+		return math.Abs(x-y) < 1e-9 && x >= 0 && x <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap("colorectal cancer", "a study of colorectal cancer in adults"); got != 1 {
+		t.Errorf("full overlap = %v, want 1", got)
+	}
+	if got := Overlap("colorectal cancer", "real estate listings"); got != 0 {
+		t.Errorf("no overlap = %v, want 0", got)
+	}
+	half := Overlap("colorectal mortgage", "colorectal things")
+	if math.Abs(half-0.5) > 1e-9 {
+		t.Errorf("half overlap = %v, want 0.5", half)
+	}
+}
+
+func TestOverlapEmptyQuery(t *testing.T) {
+	if got := Overlap("", "anything"); got != 0 {
+		t.Errorf("Overlap(empty) = %v", got)
+	}
+	if got := Overlap("the a of", "anything"); got != 0 {
+		t.Errorf("Overlap(stopwords only) = %v", got)
+	}
+}
+
+func TestCorpusIDFOrdering(t *testing.T) {
+	c := NewCorpus([]string{
+		"colorectal cancer study",
+		"colorectal cancer dataset",
+		"breast cancer dataset",
+		"mortgage refinancing guide",
+	})
+	// "cancer" appears in 3 docs, "mortgage" in 1: rarer term has higher IDF.
+	if c.IDF("cancer") >= c.IDF("mortgag") && c.IDF("cancer") >= c.IDF("mortgage") {
+		t.Errorf("IDF(cancer)=%v should be < IDF(mortgage)=%v", c.IDF("cancer"), c.IDF(Stem("mortgage")))
+	}
+}
+
+func TestCorpusSimilarityRanks(t *testing.T) {
+	docs := []string{
+		"This paper studies colorectal cancer gene mutation in tumor cells.",
+		"We present a real estate pricing model for urban listings.",
+		"A legal analysis of indemnification clauses in commercial contracts.",
+	}
+	c := NewCorpus(docs)
+	q := "papers about colorectal cancer"
+	best, bestScore := -1, -1.0
+	for i, d := range docs {
+		if s := c.Similarity(q, d); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best != 0 {
+		t.Fatalf("best doc = %d (score %v), want 0", best, bestScore)
+	}
+}
+
+func TestKeywordsDeterministic(t *testing.T) {
+	c := NewCorpus([]string{"alpha beta gamma", "alpha delta", "alpha epsilon"})
+	a := c.Keywords("alpha beta beta gamma", 3)
+	b := c.Keywords("alpha beta beta gamma", 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Keywords not deterministic: %v vs %v", a, b)
+	}
+	if len(a) != 3 {
+		t.Fatalf("Keywords len = %d, want 3", len(a))
+	}
+	if a[0] != "beta" {
+		t.Errorf("top keyword = %q, want beta (tf=2, rare)", a[0])
+	}
+}
+
+func TestKeywordsKLargerThanVocab(t *testing.T) {
+	c := NewCorpus([]string{"one two"})
+	got := c.Keywords("one two", 10)
+	if len(got) != 2 {
+		t.Fatalf("Keywords len = %d, want 2", len(got))
+	}
+}
+
+func TestSentences(t *testing.T) {
+	got := Sentences("First sentence. Second one! Third? trailing")
+	want := []string{"First sentence.", "Second one!", "Third?", "trailing"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sentences = %v, want %v", got, want)
+	}
+}
+
+func TestSentencesNoSplitInsideToken(t *testing.T) {
+	got := Sentences("Visit https://data.example.org/x.csv for data. Done.")
+	if len(got) != 2 {
+		t.Fatalf("Sentences = %v, want 2 sentences", got)
+	}
+}
+
+func TestTruncateWords(t *testing.T) {
+	if got := TruncateWords("a b c d", 2); got != "a b…" {
+		t.Errorf("TruncateWords = %q", got)
+	}
+	if got := TruncateWords("a b", 5); got != "a b" {
+		t.Errorf("no-op truncate = %q", got)
+	}
+}
+
+func TestTermFreqCounts(t *testing.T) {
+	tf := TermFreq("cancer cancer dataset")
+	if tf["cancer"] != 2 {
+		t.Errorf("tf[cancer] = %v, want 2", tf["cancer"])
+	}
+	if tf["dataset"] != 1 {
+		t.Errorf("tf[dataset] = %v, want 1", tf["dataset"])
+	}
+}

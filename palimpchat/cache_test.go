@@ -1,0 +1,34 @@
+package palimpchat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pz"
+)
+
+// TestCachedChatRerun: with the cache enabled (the REPL default), asking
+// the chat to run the pipeline a second time is nearly free.
+func TestCachedChatRerun(t *testing.T) {
+	dir := demoDir(t)
+	s, err := NewSession(Options{Config: pz.Config{EnableCache: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chat(t, s, "load the papers from "+dir)
+	chat(t, s, "filter for papers about colorectal cancer")
+	chat(t, s, "extract the dataset name, description and url")
+	chat(t, s, "run the pipeline")
+	firstCost := s.Context().TotalCost()
+	if firstCost <= 0 {
+		t.Fatal("first run free")
+	}
+	r := chat(t, s, "run the pipeline")
+	if !strings.Contains(r, "6 output records") {
+		t.Fatalf("rerun reply = %q", r)
+	}
+	rerunCost := s.Context().TotalCost() - firstCost
+	if rerunCost > firstCost/100 {
+		t.Errorf("cached rerun cost $%.4f, want <1%% of $%.4f", rerunCost, firstCost)
+	}
+}

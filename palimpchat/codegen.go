@@ -1,0 +1,114 @@
+package palimpchat
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ops"
+	"repro/pz"
+)
+
+// GenerateCode renders a logical pipeline as the Palimpzest program the
+// chat interface would have produced — the paper's Figure 6: "The final
+// Palimpzest pipeline built iteratively using the chat interface". The
+// output is Python-flavoured Palimpzest, matching the demo's notebook
+// export format.
+func GenerateCode(datasetName string, d *pz.Dataset, schemas map[string]*pz.Schema, policyName string) string {
+	var b strings.Builder
+	chain := d.Chain()
+	for _, lop := range chain {
+		switch op := lop.(type) {
+		case *ops.Scan:
+			b.WriteString("#Set input dataset\n")
+			fmt.Fprintf(&b, "schema = %s\n", op.Source.Schema().Name())
+			fmt.Fprintf(&b, "dataset = pz.Dataset(source=%q, schema=schema)\n\n", op.Source.Name())
+		case *ops.Filter:
+			b.WriteString("#Filter dataset\n")
+			if op.UDF != nil {
+				fmt.Fprintf(&b, "dataset = dataset.filter_udf(%s)\n\n", op.UDFName)
+			} else {
+				fmt.Fprintf(&b, "dataset = dataset.filter(%q)\n\n", op.Predicate)
+			}
+		case *ops.Convert:
+			writeSchemaDef(&b, op.Target)
+			b.WriteString("#Perform conversion\n")
+			fmt.Fprintf(&b, "convert_schema = %s\n", op.Target.Name())
+			fmt.Fprintf(&b, "cardinality = pz.Cardinality.%s\n", op.Card)
+			b.WriteString("dataset = dataset.convert(convert_schema, desc=convert_schema.__doc__, cardinality=cardinality)\n\n")
+		case *ops.Project:
+			b.WriteString("#Project fields\n")
+			fmt.Fprintf(&b, "dataset = dataset.project([%s])\n\n", quoteJoin(op.Fields))
+		case *ops.Limit:
+			b.WriteString("#Limit records\n")
+			fmt.Fprintf(&b, "dataset = dataset.limit(%d)\n\n", op.N)
+		case *ops.Distinct:
+			b.WriteString("#Remove duplicates\n")
+			fmt.Fprintf(&b, "dataset = dataset.distinct([%s])\n\n", quoteJoin(op.Fields))
+		case *ops.Aggregate:
+			b.WriteString("#Aggregate\n")
+			fmt.Fprintf(&b, "dataset = dataset.aggregate(%q, field=%q)\n\n", op.Func.String(), op.Field)
+		case *ops.GroupBy:
+			b.WriteString("#Group and aggregate\n")
+			fmt.Fprintf(&b, "dataset = dataset.groupby([%s], %q, field=%q)\n\n",
+				quoteJoin(op.Keys), op.Func.String(), op.Field)
+		case *ops.Sort:
+			b.WriteString("#Sort records\n")
+			fmt.Fprintf(&b, "dataset = dataset.sort(%q, descending=%v)\n\n", op.Field, op.Descending)
+		case *ops.Retrieve:
+			b.WriteString("#Semantic retrieval\n")
+			fmt.Fprintf(&b, "dataset = dataset.retrieve(%q, k=%d)\n\n", op.Query, op.K)
+		}
+	}
+	b.WriteString("#Execute workload\n")
+	b.WriteString("output = dataset\n")
+	fmt.Fprintf(&b, "policy = pz.%s()\n", policyClass(policyName))
+	b.WriteString("records, execution_stats = Execute(output, policy=policy)\n")
+	return b.String()
+}
+
+// writeSchemaDef emits the dynamic schema-definition block of Figure 6.
+func writeSchemaDef(b *strings.Builder, sc *pz.Schema) {
+	b.WriteString("#Create new schema\n")
+	fmt.Fprintf(b, "class_name = %q\n", sc.Name())
+	fmt.Fprintf(b, "schema = {\"__doc__\": %q}\n", sc.Doc())
+	names := make([]string, 0, sc.Len())
+	descs := make([]string, 0, sc.Len())
+	for _, f := range sc.Fields() {
+		names = append(names, f.Name)
+		descs = append(descs, f.Desc)
+	}
+	fmt.Fprintf(b, "field_names = [%s]\n", quoteJoin(names))
+	fmt.Fprintf(b, "field_descriptions = [%s]\n", quoteJoin(descs))
+	b.WriteString("for idx, field in enumerate(field_names):\n")
+	b.WriteString("    desc = field_descriptions[idx]\n")
+	b.WriteString("    schema[field] = pz.Field(desc=desc)\n")
+	fmt.Fprintf(b, "%s = type(class_name, (pz.Schema,), schema)\n\n", sc.Name())
+}
+
+func quoteJoin(xs []string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%q", x)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// policyClass maps policy names to the pz class names used in Figure 6.
+func policyClass(name string) string {
+	switch name {
+	case "min-cost":
+		return "MinCost"
+	case "min-time":
+		return "MinTime"
+	case "quality-at-cost":
+		return "MaxQualityAtCost"
+	case "quality-at-time":
+		return "MaxQualityAtTime"
+	case "cost-at-quality":
+		return "MinCostAtQuality"
+	case "time-at-quality":
+		return "MinTimeAtQuality"
+	default:
+		return "MaxQuality"
+	}
+}

@@ -1,0 +1,119 @@
+package palimpchat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/pz"
+)
+
+func buildDemoDataset(t *testing.T) (*pz.Context, *pz.Dataset, *pz.Schema) {
+	t.Helper()
+	ctx, err := pz.NewContext(pz.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	if _, err := ctx.RegisterDocs("sigmod-demo", pz.PDFFile, docs); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ctx.Dataset("sigmod-demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clinical, err := pz.DeriveSchema("ClinicalData", "Datasets in papers.",
+		[]string{"name", "description", "url"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, ds, clinical
+}
+
+func TestGenerateCodeAllOperators(t *testing.T) {
+	_, ds, clinical := buildDemoDataset(t)
+	pipeline := ds.
+		Filter("about colorectal cancer").
+		Convert(clinical, clinical.Doc(), pz.OneToMany).
+		Project("name", "url").
+		Distinct("url").
+		Sort("name", false).
+		Limit(5)
+	code := GenerateCode("sigmod-demo", pipeline, map[string]*pz.Schema{"ClinicalData": clinical}, "min-cost")
+	for _, want := range []string{
+		`pz.Dataset(source="sigmod-demo", schema=schema)`,
+		`dataset.filter("about colorectal cancer")`,
+		`class_name = "ClinicalData"`,
+		`dataset.project(["name", "url"])`,
+		`dataset.distinct(["url"])`,
+		`dataset.sort("name", descending=false)`,
+		`dataset.limit(5)`,
+		`policy = pz.MinCost()`,
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestGenerateCodeRetrieveGroupByAggregate(t *testing.T) {
+	_, ds, _ := buildDemoDataset(t)
+	pipeline := ds.
+		Retrieve("modern kitchens", 12).
+		GroupBy([]string{"filename"}, pz.Avg, "row").
+		Aggregate(pz.Count, "")
+	// GroupBy over PDFFile lacks "row" — code generation is still possible
+	// for display; validation happens at Execute time.
+	code := GenerateCode("sigmod-demo", pipeline, nil, "quality-at-time")
+	for _, want := range []string{
+		`dataset.retrieve("modern kitchens", k=12)`,
+		`dataset.groupby(["filename"], "avg", field="row")`,
+		`dataset.aggregate("count", field="")`,
+		`policy = pz.MaxQualityAtTime()`,
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestGenerateCodeUDFFilter(t *testing.T) {
+	_, ds, _ := buildDemoDataset(t)
+	pipeline := ds.FilterUDF("has_cancer", func(*pz.Record) (bool, error) { return true, nil })
+	code := GenerateCode("sigmod-demo", pipeline, nil, "max-quality")
+	if !strings.Contains(code, "dataset.filter_udf(has_cancer)") {
+		t.Errorf("udf filter missing:\n%s", code)
+	}
+}
+
+func TestPolicyClassMapping(t *testing.T) {
+	cases := map[string]string{
+		"max-quality":     "MaxQuality",
+		"min-cost":        "MinCost",
+		"min-time":        "MinTime",
+		"quality-at-cost": "MaxQualityAtCost",
+		"quality-at-time": "MaxQualityAtTime",
+		"cost-at-quality": "MinCostAtQuality",
+		"time-at-quality": "MinTimeAtQuality",
+		"anything-else":   "MaxQuality",
+	}
+	for in, want := range cases {
+		if got := policyClass(in); got != want {
+			t.Errorf("policyClass(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGeneratedCodeSchemaFieldOrderStable(t *testing.T) {
+	_, ds, clinical := buildDemoDataset(t)
+	pipeline := ds.Convert(clinical, clinical.Doc(), pz.OneToMany)
+	a := GenerateCode("d", pipeline, nil, "max-quality")
+	b := GenerateCode("d", pipeline, nil, "max-quality")
+	if a != b {
+		t.Error("code generation not deterministic")
+	}
+	// Field order must match schema declaration order.
+	if strings.Index(a, `"name"`) > strings.Index(a, `"description"`) {
+		t.Error("field order not preserved")
+	}
+}

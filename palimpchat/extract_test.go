@@ -1,0 +1,222 @@
+package palimpchat
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractLoad(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantPath string
+		wantName string
+		ok       bool
+	}{
+		{"load the papers from ./pdfs", "./pdfs", "", true},
+		{"load the papers from \"./my papers\"", "./my papers", "", true},
+		{"register the folder ./contracts as legal", "./contracts", "legal", true},
+		{"upload /data/listings as homes", "/data/listings", "homes", true},
+		{"load something", "", "", false},           // no path
+		{"filter for cancer papers", "", "", false}, // wrong intent
+	}
+	for _, c := range cases {
+		args, ok := extractLoad(c.in)
+		if ok != c.ok {
+			t.Errorf("extractLoad(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if args["path"] != c.wantPath {
+			t.Errorf("extractLoad(%q) path = %v, want %q", c.in, args["path"], c.wantPath)
+		}
+		if c.wantName != "" && args["name"] != c.wantName {
+			t.Errorf("extractLoad(%q) name = %v, want %q", c.in, args["name"], c.wantName)
+		}
+	}
+}
+
+func TestExtractCreateSchema(t *testing.T) {
+	args, ok := extractCreateSchema("create a schema called ClinicalData with fields name, description, url")
+	if !ok {
+		t.Fatal("not extracted")
+	}
+	if args["schema_name"] != "ClinicalData" {
+		t.Errorf("schema_name = %v", args["schema_name"])
+	}
+	if got := args["field_names"].([]string); !reflect.DeepEqual(got, []string{"name", "description", "url"}) {
+		t.Errorf("field_names = %v", got)
+	}
+	if _, ok := extractCreateSchema("create a schema called Empty"); ok {
+		t.Error("schema without fields accepted")
+	}
+	if _, ok := extractCreateSchema("the schema is nice"); ok {
+		t.Error("non-creation utterance accepted")
+	}
+}
+
+func TestExtractFilter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"filter for papers about colorectal cancer", "papers about colorectal cancer", true},
+		{"keep only contracts that contain an indemnification clause", "contracts that contain an indemnification clause", true},
+		{"I am interested in listings with a modern renovated interior", "listings with a modern renovated interior", true},
+		{"filter with \"The papers are about colorectal cancer\"", "The papers are about colorectal cancer", true},
+		{"extract the dataset name", "", false}, // convert intent
+		{"run the pipeline", "", false},
+	}
+	for _, c := range cases {
+		args, ok := extractFilter(c.in)
+		if ok != c.ok {
+			t.Errorf("extractFilter(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && args["predicate"] != c.want {
+			t.Errorf("extractFilter(%q) predicate = %q, want %q", c.in, args["predicate"], c.want)
+		}
+	}
+}
+
+func TestExtractConvert(t *testing.T) {
+	args, ok := extractConvert("extract the dataset name, description and url")
+	if !ok {
+		t.Fatal("not extracted")
+	}
+	if got := args["field_names"].([]string); !reflect.DeepEqual(got, []string{"dataset_name", "description", "url"}) {
+		t.Errorf("field_names = %v", got)
+	}
+	if args["one_to_many"] != "true" {
+		t.Error("name+url entity pattern should be one-to-many")
+	}
+
+	args, ok = extractConvert("convert the records using the ClinicalData schema")
+	if !ok || args["schema_name"] != "ClinicalData" {
+		t.Errorf("schema-name form = %v, %v", args, ok)
+	}
+
+	args, ok = extractConvert("pull out the party_a, party_b and effective_date")
+	if !ok {
+		t.Fatal("pull-out form not extracted")
+	}
+	if args["one_to_many"] == "true" {
+		t.Error("scalar extraction misread as one-to-many")
+	}
+
+	if _, ok := extractConvert("extract whatever makes sense given everything we discussed before in detail"); ok {
+		t.Error("long prose treated as field list")
+	}
+	if _, ok := extractConvert("filter for cancer"); ok {
+		t.Error("filter misread as convert")
+	}
+}
+
+func TestExtractPolicyForms(t *testing.T) {
+	cases := []struct {
+		in    string
+		want  string
+		param float64
+	}{
+		{"optimize for maximum quality", "max-quality", 0},
+		{"minimize the cost no matter the quality", "min-cost", 0},
+		{"cheapest plan please, optimize it", "min-cost", 0},
+		{"optimize for the fastest runtime", "min-time", 0},
+		{"maximize quality while staying under $0.50", "quality-at-cost", 0.5},
+		{"best quality under 120 seconds", "quality-at-time", 120},
+		{"best quality within 2 minutes", "quality-at-time", 120},
+	}
+	for _, c := range cases {
+		args, ok := extractPolicy(c.in)
+		if !ok {
+			t.Errorf("extractPolicy(%q) not extracted", c.in)
+			continue
+		}
+		if args["policy"] != c.want {
+			t.Errorf("extractPolicy(%q) = %v, want %s", c.in, args["policy"], c.want)
+		}
+		if c.param > 0 {
+			if got, _ := args["param"].(float64); got != c.param {
+				t.Errorf("extractPolicy(%q) param = %v, want %v", c.in, got, c.param)
+			}
+		}
+	}
+	if _, ok := extractPolicy("show me the records"); ok {
+		t.Error("non-policy utterance accepted")
+	}
+}
+
+func TestExtractExecuteAndStats(t *testing.T) {
+	if _, ok := extractExecute("run the pipeline"); !ok {
+		t.Error("run not detected")
+	}
+	if _, ok := extractExecute("optimize for the fastest runtime"); ok {
+		t.Error("'runtime' misread as run")
+	}
+	if _, ok := extractExecute("how long did it run?"); ok {
+		t.Error("stats question misread as run")
+	}
+	if _, ok := extractStats("how much did the LLM calls cost?"); !ok {
+		t.Error("stats not detected")
+	}
+	if _, ok := extractStats("filter the papers"); ok {
+		t.Error("stats false positive")
+	}
+}
+
+func TestExtractShowRecords(t *testing.T) {
+	args, ok := extractShowRecords("display the first 5 results")
+	if !ok {
+		t.Fatal("not extracted")
+	}
+	if args["n"] != float64(5) {
+		t.Errorf("n = %v", args["n"])
+	}
+	if _, ok := extractShowRecords("show me the extracted records"); !ok {
+		t.Error("records form missed")
+	}
+	if _, ok := extractShowRecords("show me the money"); ok {
+		t.Error("false positive")
+	}
+}
+
+func TestExtractExport(t *testing.T) {
+	args, ok := extractExport("export the notebook to ./session.ipynb")
+	if !ok || args["path"] != "./session.ipynb" {
+		t.Errorf("export = %v, %v", args, ok)
+	}
+	if _, ok := extractExport("download the notebook"); !ok {
+		t.Error("pathless export missed")
+	}
+	if _, ok := extractExport("export my feelings"); ok {
+		t.Error("false positive")
+	}
+}
+
+func TestSplitFieldList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"name, description and url", []string{"name", "description", "url"}},
+		{"the party_a, the party_b & the effective date", []string{"party_a", "party_b", "effective_date"}},
+		{"dataset name", []string{"dataset_name"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := splitFieldList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitFieldList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLooksLikeFieldList(t *testing.T) {
+	if !looksLikeFieldList("name, description and url") {
+		t.Error("field list rejected")
+	}
+	if looksLikeFieldList("whatever public dataset is being used by the study in the paper") {
+		t.Error("prose accepted as field list")
+	}
+}

@@ -1,0 +1,56 @@
+package palimpchat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestChatNeverPanics: arbitrary user input may produce errors or "no tool"
+// fallbacks, but never a panic — the REPL survives anything typed at it.
+func TestChatNeverPanics(t *testing.T) {
+	s := newSession(t)
+	f := func(utterance string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", utterance, r)
+				ok = false
+			}
+		}()
+		_, _ = s.Chat(utterance)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChatAdversarialUtterances: crafted near-miss inputs that stress the
+// slot extractors.
+func TestChatAdversarialUtterances(t *testing.T) {
+	s := newSession(t)
+	for _, u := range []string{
+		"load",
+		"load the papers from",
+		"filter",
+		"extract",
+		"extract the",
+		"create a schema called",
+		"optimize",
+		"run run run run",
+		"restore",
+		"{{predicate}}", // template syntax in user input must not be evaluated
+		`load the papers from "unterminated`,
+		"filter for \"\"",
+		"show me the first -3 records",
+		"best quality under $-1",
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", u, r)
+				}
+			}()
+			_, _ = s.Chat(u)
+		}()
+	}
+}

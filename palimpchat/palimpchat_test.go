@@ -1,0 +1,333 @@
+package palimpchat
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/pz"
+)
+
+// demoDir materializes the paper's 11-paper corpus on disk.
+func demoDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	if _, err := dataset.MaterializeCorpus("sigmod-demo", dir, docs); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func chat(t *testing.T, s *Session, utterance string) string {
+	t.Helper()
+	reply, err := s.Chat(utterance)
+	if err != nil {
+		t.Fatalf("Chat(%q): %v\nreply: %s", utterance, err, reply)
+	}
+	return reply
+}
+
+func TestE2FullScientificDiscoveryConversation(t *testing.T) {
+	// The paper's §3 demo scenario end-to-end through chat (Figures 3-5).
+	dir := demoDir(t)
+	s := newSession(t)
+
+	r1 := chat(t, s, "load the papers from \""+dir+"\" as sigmod-demo")
+	if !strings.Contains(r1, "11 files") || !strings.Contains(r1, "PDFFile") {
+		t.Fatalf("load reply = %q", r1)
+	}
+
+	r2 := chat(t, s, "I am interested in papers about colorectal cancer and for these extract the dataset name, description and url")
+	if !strings.Contains(r2, "filter") && !strings.Contains(r2, "Added filter") {
+		t.Fatalf("filter step missing: %q", r2)
+	}
+	if !strings.Contains(r2, "conversion") {
+		t.Fatalf("convert step missing: %q", r2)
+	}
+
+	r3 := chat(t, s, "optimize for maximum quality")
+	if !strings.Contains(r3, "quality") {
+		t.Fatalf("policy reply = %q", r3)
+	}
+
+	r4 := chat(t, s, "run the pipeline")
+	if !strings.Contains(r4, "6 output records") {
+		t.Fatalf("execution reply should report the paper's 6 datasets: %q", r4)
+	}
+
+	r5 := chat(t, s, "how much runtime was needed and how much did the LLM calls cost?")
+	if !strings.Contains(r5, "total runtime") || !strings.Contains(r5, "total cost") {
+		t.Fatalf("stats reply = %q", r5)
+	}
+
+	r6 := chat(t, s, "show me the extracted records")
+	if !strings.Contains(r6, "6 records") || !strings.Contains(r6, "https://") {
+		t.Fatalf("records reply = %q", r6)
+	}
+
+	// The agent decomposed the compound request into chained tool calls
+	// (Figure 4's behaviour).
+	steps := s.Steps()
+	var actions []string
+	for _, st := range steps {
+		actions = append(actions, st.Action)
+	}
+	joined := strings.Join(actions, " ")
+	for _, want := range []string{"load_dataset", "filter_dataset", "convert_dataset", "set_policy", "execute_pipeline", "show_statistics", "show_records"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing action %s in trace: %v", want, actions)
+		}
+	}
+}
+
+func TestE3GeneratedCodeMatchesFigure6(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	chat(t, s, "filter for papers about colorectal cancer")
+	chat(t, s, "extract the dataset name, description and url")
+	code := chat(t, s, "show me the code for the pipeline")
+
+	// Figure 6's structural elements.
+	for _, want := range []string{
+		"#Set input dataset",
+		"pz.Dataset(source=",
+		"#Filter dataset",
+		"dataset.filter(",
+		"colorectal cancer",
+		"#Create new schema",
+		"pz.Field(desc=desc)",
+		"type(class_name, (pz.Schema,), schema)",
+		"#Perform conversion",
+		"pz.Cardinality.ONE_TO_MANY",
+		"#Execute workload",
+		"policy = pz.MaxQuality()",
+		"records, execution_stats = Execute(output, policy=policy)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q\n%s", want, code)
+		}
+	}
+}
+
+func TestNotebookAccumulatesCells(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	chat(t, s, "filter for papers about colorectal cancer")
+	nb := s.Notebook()
+	var users, agents, codes int
+	for _, c := range nb.Cells() {
+		switch c.Type {
+		case "chat_user":
+			users++
+		case "chat_agent":
+			agents++
+		case "code":
+			codes++
+		}
+	}
+	if users != 2 || agents != 2 {
+		t.Errorf("chat cells = %d user / %d agent", users, agents)
+	}
+	if codes < 2 {
+		t.Errorf("code cells = %d, want >= 2 (load + filter templates)", codes)
+	}
+}
+
+func TestExportNotebookToFile(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	out := filepath.Join(t.TempDir(), "session.ipynb")
+	reply := chat(t, s, "export the notebook to \""+out+"\"")
+	if !strings.Contains(reply, "exported") {
+		t.Fatalf("reply = %q", reply)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("notebook not valid JSON: %v", err)
+	}
+	if doc["nbformat"] != float64(4) {
+		t.Errorf("nbformat = %v", doc["nbformat"])
+	}
+}
+
+func TestPolicyVariantsThroughChat(t *testing.T) {
+	cases := []struct{ utterance, wantName string }{
+		{"minimize the cost no matter the quality", "min-cost"},
+		{"optimize for the fastest runtime", "min-time"},
+		{"maximize quality while staying under $0.50", "quality-at-cost"},
+		{"best quality under 120 seconds", "quality-at-time"},
+		{"optimize for maximum quality", "max-quality"},
+	}
+	for _, c := range cases {
+		s := newSession(t)
+		chat(t, s, c.utterance)
+		if s.policyName != c.wantName {
+			t.Errorf("%q set policy %s, want %s", c.utterance, s.policyName, c.wantName)
+		}
+	}
+}
+
+func TestErrorsAreFriendly(t *testing.T) {
+	s := newSession(t)
+	// Filtering before loading a dataset.
+	reply, err := s.Chat("filter for papers about cancer")
+	if err == nil {
+		t.Fatal("filter without dataset should error")
+	}
+	if !strings.Contains(reply, "load") {
+		t.Errorf("reply should suggest loading a dataset: %q", reply)
+	}
+	// Stats before running.
+	s2 := newSession(t)
+	if _, err := s2.Chat("show the execution statistics"); err == nil {
+		t.Error("stats before run accepted")
+	}
+	// Missing folder.
+	s3 := newSession(t)
+	if _, err := s3.Chat("load the papers from /no/such/folder"); err == nil {
+		t.Error("missing folder accepted")
+	}
+}
+
+func TestCreateSchemaThenConvertByName(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	r := chat(t, s, "create a schema called ClinicalData with fields name, description, url")
+	if !strings.Contains(r, "ClinicalData") {
+		t.Fatalf("schema reply = %q", r)
+	}
+	r = chat(t, s, "convert the records using the ClinicalData schema")
+	if !strings.Contains(r, "ClinicalData") {
+		t.Fatalf("convert reply = %q", r)
+	}
+	if _, ok := s.schemas["ClinicalData"]; !ok {
+		t.Error("schema not remembered")
+	}
+	// Unknown schema errors.
+	s2 := newSession(t)
+	chat(t, s2, "load the papers from "+dir)
+	if _, err := s2.Chat("convert the records using the Bogus schema"); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+func TestDescribeAndResetPipeline(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	chat(t, s, "filter for papers about colorectal cancer")
+	d := chat(t, s, "describe the pipeline")
+	if !strings.Contains(d, "scan(") || !strings.Contains(d, "filter(") {
+		t.Fatalf("describe = %q", d)
+	}
+	chat(t, s, "reset the pipeline")
+	d2 := chat(t, s, "describe the pipeline")
+	if strings.Contains(d2, "filter(") {
+		t.Fatalf("reset did not clear operators: %q", d2)
+	}
+}
+
+func TestListDatasets(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir+" as papers")
+	r := chat(t, s, "what datasets are available?")
+	if !strings.Contains(r, "papers") {
+		t.Fatalf("list reply = %q", r)
+	}
+}
+
+func TestLegalScenarioThroughChat(t *testing.T) {
+	dir := t.TempDir()
+	docs := corpus.GenerateLegal(corpus.LegalConfig{NumContracts: 10, IndemnificationRate: 0.4, Seed: 21})
+	if _, err := dataset.MaterializeCorpus("legal", dir, docs); err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t)
+	chat(t, s, "load the contracts from "+dir+" as legal")
+	chat(t, s, "keep only contracts that mention indemnification")
+	chat(t, s, "extract the party_a, party_b and effective_date")
+	chat(t, s, "minimize the cost")
+	r := chat(t, s, "run the pipeline")
+	if !strings.Contains(r, "output records") {
+		t.Fatalf("run reply = %q", r)
+	}
+	res := s.LastResult()
+	if res == nil || len(res.Records) == 0 {
+		t.Fatal("no results")
+	}
+	if len(res.Records) >= 10 {
+		t.Errorf("filter kept everything: %d", len(res.Records))
+	}
+}
+
+func TestDirectToolInvocation(t *testing.T) {
+	// The expert path: invoke tools programmatically.
+	dir := demoDir(t)
+	s := newSession(t)
+	step, err := s.Agent().Invoke("load_dataset", map[string]any{"path": dir, "name": "expert"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(step.Observation, "expert") {
+		t.Errorf("observation = %q", step.Observation)
+	}
+	if _, err := s.Agent().Invoke("create_schema", map[string]any{}); err == nil {
+		t.Error("missing required args accepted")
+	}
+}
+
+func TestGenerateCodeRequiresPipeline(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.GenerateCode(); err == nil {
+		t.Error("code generation without pipeline accepted")
+	}
+}
+
+func TestSessionUsesPzConfig(t *testing.T) {
+	s, err := NewSession(Options{Config: pz.Config{Parallelism: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Context() == nil || s.Agent() == nil || s.Notebook() == nil {
+		t.Fatal("session incomplete")
+	}
+}
+
+func TestAutoSchemaNameAndDescs(t *testing.T) {
+	if got := autoSchemaName([]string{"dataset_name", "url"}); got != "ExtractedDatasetName" {
+		t.Errorf("autoSchemaName = %q", got)
+	}
+	if got := autoSchemaName(nil); got != "Extracted" {
+		t.Errorf("autoSchemaName(nil) = %q", got)
+	}
+	descs := defaultFieldDescs([]string{"effective_date"})
+	if descs[0] != "The effective date extracted from the record." {
+		t.Errorf("descs = %v", descs)
+	}
+	if baseName("./a/b/") != "b" || baseName("") != "dataset" {
+		t.Error("baseName wrong")
+	}
+}

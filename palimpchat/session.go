@@ -1,0 +1,170 @@
+// Package palimpchat implements the PalimpChat system (paper §2.3): a
+// chat-based interface that integrates Palimpzest (pz) with Archytas by
+// exposing "a series of tools that the LLM-based agent can leverage ...
+// templated code snippets that can 1. perform fundamental Palimpzest
+// operations (e.g., registering a dataset, generating schemas, filtering
+// records) and 2. orchestrate entire pipelines of transformations", hosted
+// in a Beaker-style hybrid notebook/chat environment.
+package palimpchat
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/archytas"
+	"repro/internal/notebook"
+	"repro/pz"
+)
+
+// Session is one PalimpChat conversation: a pz Context, an Archytas agent
+// over the PalimpChat toolset, a notebook accumulating chat + generated
+// code, and the pipeline state being built.
+type Session struct {
+	ctx      *pz.Context
+	agent    *archytas.Agent
+	notebook *notebook.Notebook
+
+	// Pipeline state mutated by tools.
+	datasetName string
+	pipeline    *pz.Dataset
+	schemas     map[string]*pz.Schema
+	schemaOrder []string
+	policy      pz.Policy
+	policyName  string
+	lastResult  *pz.Result
+	states      []sessionState
+}
+
+// Options configures a Session.
+type Options struct {
+	// Config is the Palimpzest context configuration.
+	Config pz.Config
+	// WithoutDocExamples strips usage examples from tool docstrings
+	// (experiment E8's ablation).
+	WithoutDocExamples bool
+}
+
+// NewSession builds a session with the standard PalimpChat toolset.
+func NewSession(opts Options) (*Session, error) {
+	ctx, err := pz.NewContext(opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ctx:      ctx,
+		notebook: notebook.New(),
+		schemas:  map[string]*pz.Schema{},
+		policy:   pz.MaxQuality(),
+		// The demo defaults to maximum quality, as in Figure 6.
+		policyName: "max-quality",
+	}
+	tb := archytas.NewToolbox()
+	if opts.WithoutDocExamples {
+		tb.WithoutExamples()
+	}
+	for _, tool := range s.tools() {
+		if err := tb.Register(tool); err != nil {
+			return nil, err
+		}
+	}
+	agent, err := archytas.NewAgent(tb, archytas.NewEnv())
+	if err != nil {
+		return nil, err
+	}
+	s.agent = agent
+	return s, nil
+}
+
+// Context exposes the underlying Palimpzest context.
+func (s *Session) Context() *pz.Context { return s.ctx }
+
+// Agent exposes the Archytas agent (traces, direct invocation).
+func (s *Session) Agent() *archytas.Agent { return s.agent }
+
+// Notebook exposes the session notebook.
+func (s *Session) Notebook() *notebook.Notebook { return s.notebook }
+
+// LastResult returns the most recent pipeline execution (nil before any
+// run).
+func (s *Session) LastResult() *pz.Result { return s.lastResult }
+
+// Pipeline returns the pipeline under construction (nil before a dataset
+// is loaded).
+func (s *Session) Pipeline() *pz.Dataset { return s.pipeline }
+
+// Chat processes one user utterance through the ReAct agent, recording the
+// exchange (and any generated code) in the notebook, and returns the
+// agent's reply.
+func (s *Session) Chat(utterance string) (string, error) {
+	s.notebook.AddChatUser(utterance)
+	steps, err := s.agent.Handle(utterance)
+	var parts []string
+	for _, st := range steps {
+		if st.Code != "" {
+			id := s.notebook.AddCode(st.Code)
+			_ = s.notebook.SetOutput(id, st.Observation)
+		}
+		if st.Observation != "" {
+			parts = append(parts, st.Observation)
+		}
+		if st.Err != nil {
+			parts = append(parts, "error: "+st.Err.Error())
+		}
+	}
+	reply := strings.Join(parts, "\n")
+	if reply == "" {
+		reply = "(nothing to do)"
+	}
+	s.notebook.AddChatAgent(reply)
+	if err != nil {
+		return reply, err
+	}
+	return reply, nil
+}
+
+// Steps returns the full ReAct trace so far.
+func (s *Session) Steps() []archytas.Step { return s.agent.Trace() }
+
+// requirePipeline returns the pipeline or a friendly error telling the
+// user to load a dataset first.
+func (s *Session) requirePipeline() (*pz.Dataset, error) {
+	if s.pipeline == nil {
+		return nil, fmt.Errorf("no dataset loaded yet — ask me to load one first (e.g. \"load the papers from ./pdfs\")")
+	}
+	return s.pipeline, nil
+}
+
+// lastSchema returns the most recently created schema.
+func (s *Session) lastSchema() (*pz.Schema, bool) {
+	if len(s.schemaOrder) == 0 {
+		return nil, false
+	}
+	return s.schemas[s.schemaOrder[len(s.schemaOrder)-1]], true
+}
+
+// rememberSchema stores a schema under its name.
+func (s *Session) rememberSchema(sc *pz.Schema) {
+	if _, dup := s.schemas[sc.Name()]; !dup {
+		s.schemaOrder = append(s.schemaOrder, sc.Name())
+	}
+	s.schemas[sc.Name()] = sc
+}
+
+// SaveNotebook writes the exported notebook JSON to path.
+func (s *Session) SaveNotebook(path string) error {
+	data, err := s.notebook.ExportJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// GenerateCode renders the current pipeline as Palimpzest code (the
+// paper's Figure 6 artifact).
+func (s *Session) GenerateCode() (string, error) {
+	if s.pipeline == nil {
+		return "", fmt.Errorf("palimpchat: no pipeline to generate code for")
+	}
+	return GenerateCode(s.datasetName, s.pipeline, s.schemas, s.policyName), nil
+}

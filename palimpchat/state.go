@@ -1,0 +1,237 @@
+package palimpchat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/archytas"
+	"repro/pz"
+)
+
+// sessionState is the pipeline-facing state captured by a snapshot. The
+// notebook captures its own cells; this captures what the tools mutate, so
+// that "restore previous notebook states" (paper §2.3 on Beaker) rolls back
+// the pipeline too.
+type sessionState struct {
+	label       string
+	datasetName string
+	pipeline    *pz.Dataset
+	schemas     map[string]*pz.Schema
+	schemaOrder []string
+	policy      pz.Policy
+	policyName  string
+	notebookIdx int
+}
+
+// snapshot captures the current session state under a label.
+func (s *Session) snapshot(label string) int {
+	schemas := make(map[string]*pz.Schema, len(s.schemas))
+	for k, v := range s.schemas {
+		schemas[k] = v
+	}
+	order := make([]string, len(s.schemaOrder))
+	copy(order, s.schemaOrder)
+	st := sessionState{
+		label:       label,
+		datasetName: s.datasetName,
+		pipeline:    s.pipeline,
+		schemas:     schemas,
+		schemaOrder: order,
+		policy:      s.policy,
+		policyName:  s.policyName,
+		notebookIdx: s.notebook.Snapshot(label),
+	}
+	s.states = append(s.states, st)
+	return len(s.states) - 1
+}
+
+// restore rewinds session and notebook to snapshot idx.
+func (s *Session) restore(idx int) error {
+	if idx < 0 || idx >= len(s.states) {
+		return fmt.Errorf("no snapshot %d (have %d)", idx, len(s.states))
+	}
+	st := s.states[idx]
+	if err := s.notebook.Restore(st.notebookIdx); err != nil {
+		return err
+	}
+	s.datasetName = st.datasetName
+	s.pipeline = st.pipeline
+	s.schemas = make(map[string]*pz.Schema, len(st.schemas))
+	for k, v := range st.schemas {
+		s.schemas[k] = v
+	}
+	s.schemaOrder = make([]string, len(st.schemaOrder))
+	copy(s.schemaOrder, st.schemaOrder)
+	s.policy = st.policy
+	s.policyName = st.policyName
+	return nil
+}
+
+// Snapshots lists saved state labels in order.
+func (s *Session) Snapshots() []string {
+	out := make([]string, len(s.states))
+	for i, st := range s.states {
+		out[i] = st.label
+	}
+	return out
+}
+
+// saveStateTool snapshots the session ("comprehensive state management that
+// allows users to restore previous notebook states").
+func (s *Session) saveStateTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "save_state",
+		Doc: "Save a snapshot of the current session state (pipeline, schemas, " +
+			"policy, and notebook) so it can be restored later.",
+		Examples: []string{
+			"save the current state as before-filter",
+			"snapshot the notebook",
+		},
+		Params: []archytas.Param{
+			{Name: "label", Desc: "A name for the snapshot", Kind: archytas.ParamString},
+		},
+		Extract: extractSaveState,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			label, _ := args["label"].(string)
+			if label == "" {
+				label = fmt.Sprintf("snapshot-%d", len(s.states)+1)
+			}
+			idx := s.snapshot(label)
+			return fmt.Sprintf("Saved state %d (%q).", idx, label), nil
+		},
+	}
+}
+
+// restoreStateTool rewinds the session to a snapshot.
+func (s *Session) restoreStateTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "restore_state",
+		Doc: "Restore a previously saved session state by its label or index, " +
+			"rolling back the pipeline, schemas, policy, and notebook cells.",
+		Examples: []string{
+			"restore the state before-filter",
+			"go back to snapshot 0",
+		},
+		Params: []archytas.Param{
+			{Name: "label", Desc: "The snapshot label or index to restore", Required: true, Kind: archytas.ParamString},
+		},
+		Extract: extractRestoreState,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			label, _ := args["label"].(string)
+			idx := -1
+			if n, err := strconv.Atoi(label); err == nil {
+				idx = n
+			} else {
+				for i, st := range s.states {
+					if st.label == label {
+						idx = i
+					}
+				}
+			}
+			if idx < 0 {
+				return "", fmt.Errorf("no snapshot %q (have: %s)", label, strings.Join(s.Snapshots(), ", "))
+			}
+			if err := s.restore(idx); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Restored state %d (%q).", idx, s.states[idx].label), nil
+		},
+	}
+}
+
+// explainPlanTool exposes the optimizer's candidate space: the chosen plan
+// under the current policy plus the Pareto frontier of alternatives.
+func (s *Session) explainPlanTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "explain_plan",
+		Doc: "Explain what the optimizer would run for the current pipeline " +
+			"under the current policy: the chosen physical plan, how many " +
+			"candidates were considered, and the Pareto frontier of cost, " +
+			"runtime, and quality trade-offs.",
+		Examples: []string{
+			"explain the plan choice",
+			"why did the optimizer pick that plan?",
+			"show the plan alternatives",
+		},
+		Extract: extractExplainPlan,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			p, err := s.requirePipeline()
+			if err != nil {
+				return "", err
+			}
+			chosen, candidates, err := s.ctx.OptimizeOnly(p, s.policy)
+			if err != nil {
+				return "", err
+			}
+			return formatPlanExplanation(s.policy, chosen, candidates), nil
+		},
+	}
+}
+
+func formatPlanExplanation(policy pz.Policy, chosen *pz.Plan, candidates []*pz.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Policy: %s\n", policy.Describe())
+	fmt.Fprintf(&b, "Chosen plan (%d candidates considered):\n  %s\n", len(candidates), chosen)
+	fmt.Fprintf(&b, "  estimated cost=$%.4f time=%.1fs quality=%.3f\n",
+		chosen.Cost(), chosen.Time(), chosen.Quality())
+	front := pz.Frontier(candidates)
+	fmt.Fprintf(&b, "Pareto frontier (%d plans):\n", len(front))
+	for _, pl := range front {
+		marker := "  "
+		if pl == chosen {
+			marker = "* "
+		}
+		fmt.Fprintf(&b, "%s$%.4f  %6.1fs  q=%.3f  %s\n",
+			marker, pl.Cost(), pl.Time(), pl.Quality(), pl)
+	}
+	return b.String()
+}
+
+func extractSaveState(utterance string) (map[string]any, bool) {
+	l := lc(utterance)
+	if !hasAny(l, "save", "snapshot", "checkpoint") || !hasAny(l, "state", "snapshot", "notebook", "checkpoint") {
+		return nil, false
+	}
+	// Exporting the notebook is a different tool.
+	if hasAny(l, "export", "download", "ipynb", "jupyter") {
+		return nil, false
+	}
+	args := map[string]any{}
+	if m := asNameRE.FindStringSubmatch(l); m != nil {
+		args["label"] = m[1]
+	}
+	return args, true
+}
+
+func extractRestoreState(utterance string) (map[string]any, bool) {
+	l := lc(utterance)
+	if !hasAny(l, "restore", "go back to", "roll back", "rollback", "revert") {
+		return nil, false
+	}
+	args := map[string]any{}
+	if m := numberRE.FindStringSubmatch(l); m != nil {
+		args["label"] = m[1]
+	}
+	for _, kw := range []string{"state ", "snapshot ", "to "} {
+		if i := strings.LastIndex(l, kw); i >= 0 {
+			tail := strings.Trim(strings.TrimSpace(l[i+len(kw):]), ".!?\"'")
+			if tail != "" && !strings.Contains(tail, " ") {
+				args["label"] = tail
+			}
+		}
+	}
+	if _, ok := args["label"]; !ok {
+		return nil, false
+	}
+	return args, true
+}
+
+func extractExplainPlan(utterance string) (map[string]any, bool) {
+	l := lc(utterance)
+	if hasAny(l, "explain the plan", "plan choice", "why did the optimizer", "plan alternatives",
+		"pareto", "which plan", "physical plan") {
+		return map[string]any{}, true
+	}
+	return nil, false
+}

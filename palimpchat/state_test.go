@@ -1,0 +1,121 @@
+package palimpchat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRestoreThroughChat(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	r := chat(t, s, "save the current state as clean")
+	if !strings.Contains(r, "clean") {
+		t.Fatalf("save reply = %q", r)
+	}
+	chat(t, s, "filter for papers about colorectal cancer")
+	d := chat(t, s, "describe the pipeline")
+	if !strings.Contains(d, "filter(") {
+		t.Fatal("filter not added")
+	}
+	nbBefore := s.Notebook().Len()
+
+	r = chat(t, s, "restore the state clean")
+	if !strings.Contains(r, "Restored") {
+		t.Fatalf("restore reply = %q", r)
+	}
+	d = chat(t, s, "describe the pipeline")
+	if strings.Contains(d, "filter(") {
+		t.Fatalf("restore did not roll back pipeline: %q", d)
+	}
+	if s.Notebook().Len() >= nbBefore {
+		t.Errorf("notebook not rolled back: %d cells >= %d", s.Notebook().Len(), nbBefore)
+	}
+	if got := s.Snapshots(); len(got) != 1 || got[0] != "clean" {
+		t.Errorf("Snapshots = %v", got)
+	}
+}
+
+func TestRestoreByIndexAndErrors(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	chat(t, s, "save the current state as s0")
+	chat(t, s, "filter for papers about cancer")
+	r := chat(t, s, "go back to snapshot 0")
+	if !strings.Contains(r, "Restored state 0") {
+		t.Fatalf("restore-by-index reply = %q", r)
+	}
+	if _, err := s.Chat("restore the state nonexistent"); err == nil {
+		t.Error("restoring unknown snapshot accepted")
+	}
+}
+
+func TestSnapshotRestoresSchemasAndPolicy(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	chat(t, s, "minimize the cost")
+	chat(t, s, "save the current state as cheap")
+	chat(t, s, "optimize for maximum quality")
+	chat(t, s, "create a schema called Later with fields a, b")
+	if s.policyName != "max-quality" {
+		t.Fatalf("policy = %s", s.policyName)
+	}
+	chat(t, s, "restore the state cheap")
+	if s.policyName != "min-cost" {
+		t.Errorf("policy after restore = %s, want min-cost", s.policyName)
+	}
+	if _, ok := s.schemas["Later"]; ok {
+		t.Error("schema created after snapshot survived restore")
+	}
+}
+
+func TestExplainPlanThroughChat(t *testing.T) {
+	dir := demoDir(t)
+	s := newSession(t)
+	chat(t, s, "load the papers from "+dir)
+	chat(t, s, "filter for papers about colorectal cancer")
+	chat(t, s, "extract the dataset name, description and url")
+	r := chat(t, s, "explain the plan choice")
+	for _, want := range []string{"Chosen plan", "candidates considered", "Pareto frontier", "atlas-large", "q="} {
+		if !strings.Contains(r, want) {
+			t.Errorf("explain missing %q:\n%s", want, r)
+		}
+	}
+	// The chosen plan is marked in the frontier listing.
+	if !strings.Contains(r, "* ") {
+		t.Error("chosen plan not marked in frontier")
+	}
+}
+
+func TestExplainPlanRequiresPipeline(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Chat("explain the plan choice"); err == nil {
+		t.Error("explain without pipeline accepted")
+	}
+}
+
+func TestExtractSaveRestoreExplain(t *testing.T) {
+	if args, ok := extractSaveState("save the current state as before-filter"); !ok || args["label"] != "before-filter" {
+		t.Errorf("extractSaveState = %v, %v", args, ok)
+	}
+	if _, ok := extractSaveState("save the notebook to ./x.ipynb as backup"); ok {
+		t.Error("notebook export misrouted to save_state")
+	}
+	if args, ok := extractRestoreState("restore the state clean"); !ok || args["label"] != "clean" {
+		t.Errorf("extractRestoreState = %v, %v", args, ok)
+	}
+	if args, ok := extractRestoreState("go back to snapshot 2"); !ok || args["label"] != "2" {
+		t.Errorf("extractRestoreState index = %v, %v", args, ok)
+	}
+	if _, ok := extractRestoreState("restore"); ok {
+		t.Error("labelless restore accepted")
+	}
+	if _, ok := extractExplainPlan("why did the optimizer pick that plan?"); !ok {
+		t.Error("extractExplainPlan missed")
+	}
+	if _, ok := extractExplainPlan("run the pipeline"); ok {
+		t.Error("extractExplainPlan false positive")
+	}
+}

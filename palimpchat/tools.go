@@ -1,0 +1,488 @@
+package palimpchat
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/archytas"
+	"repro/internal/tmpl"
+	"repro/pz"
+)
+
+// tools builds the PalimpChat toolset over this session. Every tool
+// follows the paper's pattern: summary docstring, Args section (Params),
+// usage examples, and a Jinja-templated code snippet whose rendering lands
+// in the notebook.
+func (s *Session) tools() []*archytas.Tool {
+	return []*archytas.Tool{
+		s.loadDatasetTool(),
+		s.createSchemaTool(),
+		s.filterTool(),
+		s.convertTool(),
+		s.policyTool(),
+		s.executeTool(),
+		s.statsTool(),
+		s.showRecordsTool(),
+		s.describeTool(),
+		s.generateCodeTool(),
+		s.exportNotebookTool(),
+		s.resetTool(),
+		s.listDatasetsTool(),
+		s.saveStateTool(),
+		s.restoreStateTool(),
+		s.explainPlanTool(),
+	}
+}
+
+func (s *Session) loadDatasetTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "load_dataset",
+		Doc: "Register an input dataset from a local folder. Every file in the " +
+			"folder becomes one record; the record schema (for example the native " +
+			"PDFFile schema) is selected automatically from the file extensions.",
+		Examples: []string{
+			"load the papers from ./pdfs",
+			"register the folder \"./contracts\" as legal",
+			"use the folder ./listings as the input dataset",
+		},
+		Params: []archytas.Param{
+			{Name: "path", Desc: "The local folder containing the data files", Required: true, Kind: archytas.ParamString},
+			{Name: "name", Desc: "Optional dataset name (defaults to the folder name)", Kind: archytas.ParamString},
+		},
+		Template: tmpl.MustParse(`#Set input dataset
+dataset = pz.Dataset(source="{{ path }}")`),
+		Extract: extractLoad,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			path, _ := args["path"].(string)
+			name, _ := args["name"].(string)
+			if name == "" {
+				name = baseName(path)
+			}
+			src, err := s.ctx.RegisterDir(name, path)
+			if err != nil {
+				return "", err
+			}
+			ds, err := s.ctx.Dataset(name)
+			if err != nil {
+				return "", err
+			}
+			s.datasetName = name
+			s.pipeline = ds
+			env.Set("dataset_name", name)
+			env.Set("dataset_schema", src.Schema().Name())
+			dir, _ := src.(interface{ NumFiles() int })
+			n := 0
+			if dir != nil {
+				n = dir.NumFiles()
+			}
+			return fmt.Sprintf("Registered dataset %q (%d files, schema %s).",
+				name, n, src.Schema().Name()), nil
+		},
+	}
+}
+
+func (s *Session) createSchemaTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "create_schema",
+		Doc: "Generate a new extraction schema. The inputs are a schema name and a " +
+			"set of fields. For example, to extract author information the schema " +
+			"name might be 'Author' and the fields 'name', 'email', 'affiliation'. " +
+			"Field names cannot have spaces or special characters.",
+		Examples: []string{
+			"create a schema called ClinicalData with fields name, description, url",
+			"define a new schema named Author with the fields name, email and affiliation",
+		},
+		Params: []archytas.Param{
+			{Name: "schema_name", Desc: "Name for the new schema", Required: true, Kind: archytas.ParamString},
+			{Name: "schema_description", Desc: "A short description of the schema", Kind: archytas.ParamString},
+			{Name: "field_names", Desc: "The field names to extract", Required: true, Kind: archytas.ParamStringList},
+			{Name: "field_descriptions", Desc: "A short description for each field", Kind: archytas.ParamStringList},
+		},
+		Template: tmpl.MustParse(`#Create new schema
+class_name = "{{ schema_name }}"
+field_names = [{{ field_names|join:", " }}]
+new_schema = type(class_name, (pz.Schema,), fields)`),
+		Extract: extractCreateSchema,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			name, _ := args["schema_name"].(string)
+			desc, _ := args["schema_description"].(string)
+			if desc == "" {
+				desc = fmt.Sprintf("A schema for extracting %s records.", strings.ToLower(name))
+			}
+			fields, _ := args["field_names"].([]string)
+			descs, _ := args["field_descriptions"].([]string)
+			if descs == nil {
+				descs = defaultFieldDescs(fields)
+			}
+			sc, err := pz.DeriveSchema(name, desc, fields, descs)
+			if err != nil {
+				return "", err
+			}
+			s.rememberSchema(sc)
+			env.Set("schema_name", sc.Name())
+			env.Set("field_names", sc.FieldNames())
+			return fmt.Sprintf("Created schema %s.", sc), nil
+		},
+	}
+}
+
+func (s *Session) filterTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "filter_dataset",
+		Doc: "Filter the dataset with a natural language predicate: keep only the " +
+			"records that satisfy the condition. The filter runs as an LLM " +
+			"operation chosen by the optimizer.",
+		Examples: []string{
+			"filter for papers about colorectal cancer",
+			"keep only contracts that contain an indemnification clause",
+			"I am interested in listings with a modern renovated interior",
+		},
+		Params: []archytas.Param{
+			{Name: "predicate", Desc: "The natural language condition records must satisfy", Required: true, Kind: archytas.ParamString},
+		},
+		Template: tmpl.MustParse(`#Filter dataset
+dataset = dataset.filter("{{ predicate }}")`),
+		Extract: extractFilter,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			p, err := s.requirePipeline()
+			if err != nil {
+				return "", err
+			}
+			pred, _ := args["predicate"].(string)
+			s.pipeline = p.Filter(pred)
+			env.Set("predicate", pred)
+			return fmt.Sprintf("Added filter: %q.", pred), nil
+		},
+	}
+}
+
+func (s *Session) convertTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "convert_dataset",
+		Doc: "Convert the dataset records into an extraction schema, computing the " +
+			"schema fields from each record's content. Use an existing schema by " +
+			"name or list the fields to extract inline; extraction of many " +
+			"entities per record uses ONE_TO_MANY cardinality.",
+		Examples: []string{
+			"extract the dataset name, description and url",
+			"convert the records using the ClinicalData schema",
+			"pull out the party_a, party_b and effective_date",
+		},
+		Params: []archytas.Param{
+			{Name: "schema_name", Desc: "The schema to convert into (defaults to the last created)", Kind: archytas.ParamString},
+			{Name: "field_names", Desc: "Fields to extract when no schema is named", Kind: archytas.ParamStringList},
+			{Name: "one_to_many", Desc: "\"true\" to extract many entities per record", Kind: archytas.ParamString},
+		},
+		Template: tmpl.MustParse(`#Perform conversion
+convert_schema = {{ schema_name }}
+dataset = dataset.convert(convert_schema, desc=convert_schema.__doc__, cardinality={{ cardinality }})`),
+		Extract: extractConvert,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			p, err := s.requirePipeline()
+			if err != nil {
+				return "", err
+			}
+			var target *pz.Schema
+			if name, _ := args["schema_name"].(string); name != "" {
+				sc, ok := s.schemas[name]
+				if !ok {
+					return "", fmt.Errorf("no schema named %q — create it first with create_schema", name)
+				}
+				target = sc
+			} else if fields, _ := args["field_names"].([]string); len(fields) > 0 {
+				sc, err := pz.DeriveSchema(autoSchemaName(fields), "A schema generated from the chat request.",
+					fields, defaultFieldDescs(fields))
+				if err != nil {
+					return "", err
+				}
+				s.rememberSchema(sc)
+				target = sc
+			} else if sc, ok := s.lastSchema(); ok {
+				target = sc
+			} else {
+				return "", fmt.Errorf("no schema available — name fields to extract or create a schema first")
+			}
+			card := pz.OneToOne
+			if v, _ := args["one_to_many"].(string); v == "true" {
+				card = pz.OneToMany
+			}
+			s.pipeline = p.Convert(target, target.Doc(), card)
+			env.Set("schema_name", target.Name())
+			env.Set("cardinality", "pz.Cardinality."+card.String())
+			return fmt.Sprintf("Added conversion to %s (%s).", target, card), nil
+		},
+	}
+}
+
+func (s *Session) policyTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "set_policy",
+		Doc: "Set the optimization policy for pipeline execution: maximize quality, " +
+			"minimize cost, minimize runtime, or a constrained combination such as " +
+			"maximize quality under a cost budget or a latency cap.",
+		Examples: []string{
+			"optimize for maximum quality",
+			"minimize the cost no matter the quality",
+			"maximize quality while staying under $0.50",
+			"best quality under 120 seconds",
+		},
+		Params: []archytas.Param{
+			{Name: "policy", Desc: "Policy name: max-quality, min-cost, min-time, quality-at-cost, quality-at-time", Required: true, Kind: archytas.ParamString},
+			{Name: "param", Desc: "Budget/cap for constrained policies", Kind: archytas.ParamNumber},
+		},
+		Template: tmpl.MustParse(`policy = pz.{{ policy_class }}()`),
+		Extract:  extractPolicy,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			name, _ := args["policy"].(string)
+			param, _ := args["param"].(float64)
+			pol, err := pz.ParsePolicy(name, param)
+			if err != nil {
+				return "", err
+			}
+			s.policy = pol
+			s.policyName = pol.Name()
+			env.Set("policy_class", policyClass(pol.Name()))
+			return fmt.Sprintf("Optimization goal set: %s.", pol.Describe()), nil
+		},
+	}
+}
+
+func (s *Session) executeTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "execute_pipeline",
+		Doc: "Run the pipeline built so far: the optimizer selects the physical " +
+			"plan that best meets the chosen policy, executes it, and reports the " +
+			"output records with runtime and cost statistics.",
+		Examples: []string{
+			"run the pipeline",
+			"execute the workload now",
+			"go ahead and process the papers",
+		},
+		Template: tmpl.MustParse(`#Execute workload
+output = dataset
+records, execution_stats = Execute(output, policy=policy)`),
+		Extract: extractExecute,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			p, err := s.requirePipeline()
+			if err != nil {
+				return "", err
+			}
+			res, err := s.ctx.Execute(p, s.policy)
+			if err != nil {
+				return "", err
+			}
+			s.lastResult = res
+			env.Set("num_records", len(res.Records))
+			return fmt.Sprintf(
+				"Pipeline executed: %d output records in %s (simulated) at a cost of $%.2f.\nPlan: %s\nAsk for statistics or the records to see more.",
+				len(res.Records), res.Elapsed.Round(1e9), res.CostUSD, res.Plan), nil
+		},
+	}
+}
+
+func (s *Session) statsTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "show_statistics",
+		Doc: "Show execution statistics of the last pipeline run: the operators " +
+			"chosen, per-operator LLM calls and tokens, total runtime, and how much " +
+			"the LLM invocations costed.",
+		Examples: []string{
+			"how much runtime was needed and how much did the LLM calls cost?",
+			"show the execution statistics",
+		},
+		Extract: extractStats,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			if s.lastResult == nil {
+				return "", fmt.Errorf("nothing has run yet — ask me to execute the pipeline first")
+			}
+			return s.lastResult.Report(0), nil
+		},
+	}
+}
+
+func (s *Session) showRecordsTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "show_records",
+		Doc:  "Display output records from the last pipeline run.",
+		Examples: []string{
+			"show me the extracted records",
+			"display the first 5 results",
+		},
+		Params: []archytas.Param{
+			{Name: "n", Desc: "How many records to show (default 10)", Kind: archytas.ParamNumber},
+		},
+		Extract: extractShowRecords,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			if s.lastResult == nil {
+				return "", fmt.Errorf("nothing has run yet — ask me to execute the pipeline first")
+			}
+			n := 10
+			if v, ok := args["n"].(float64); ok && v > 0 {
+				n = int(v)
+			}
+			recs := s.lastResult.Records
+			if n > len(recs) {
+				n = len(recs)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d records:\n", len(recs))
+			for _, r := range recs[:n] {
+				fmt.Fprintf(&b, "  %s\n", r)
+			}
+			if len(recs) > n {
+				fmt.Fprintf(&b, "  … and %d more\n", len(recs)-n)
+			}
+			return b.String(), nil
+		},
+	}
+}
+
+func (s *Session) describeTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "describe_pipeline",
+		Doc:  "Describe the logical pipeline built so far, one operator per line.",
+		Examples: []string{
+			"what is the current pipeline?",
+			"describe the pipeline",
+		},
+		Extract: extractDescribe,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			p, err := s.requirePipeline()
+			if err != nil {
+				return "", err
+			}
+			return "Current logical pipeline:\n" + p.Describe(), nil
+		},
+	}
+}
+
+func (s *Session) generateCodeTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "generate_code",
+		Doc: "Show the final Palimpzest code for the pipeline built through the " +
+			"chat, ready to be copied into a program or notebook.",
+		Examples: []string{
+			"show me the code for the pipeline",
+			"generate the final code",
+		},
+		Extract: extractGenerateCode,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			code, err := s.GenerateCode()
+			if err != nil {
+				return "", err
+			}
+			return code, nil
+		},
+	}
+}
+
+func (s *Session) exportNotebookTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "export_notebook",
+		Doc: "Export the session as a Jupyter notebook containing all inputs and " +
+			"generated snippets of code.",
+		Examples: []string{
+			"download the notebook",
+			"export the notebook to ./session.ipynb",
+		},
+		Params: []archytas.Param{
+			{Name: "path", Desc: "File to write (omit to just show the JSON size)", Kind: archytas.ParamString},
+		},
+		Extract: extractExport,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			if path, _ := args["path"].(string); path != "" {
+				if err := s.SaveNotebook(path); err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("Notebook exported to %s (%d cells).", path, s.notebook.Len()), nil
+			}
+			data, err := s.notebook.ExportJSON()
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Notebook ready: %d cells, %d bytes of JSON. Give me a path to save it.",
+				s.notebook.Len(), len(data)), nil
+		},
+	}
+}
+
+func (s *Session) resetTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "reset_pipeline",
+		Doc:  "Discard the operators added so far and start the pipeline over from the loaded dataset.",
+		Examples: []string{
+			"reset the pipeline",
+			"start over",
+		},
+		Extract: extractReset,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			if s.datasetName == "" {
+				return "", fmt.Errorf("no dataset loaded yet")
+			}
+			ds, err := s.ctx.Dataset(s.datasetName)
+			if err != nil {
+				return "", err
+			}
+			s.pipeline = ds
+			return fmt.Sprintf("Pipeline reset to dataset %q.", s.datasetName), nil
+		},
+	}
+}
+
+func (s *Session) listDatasetsTool() *archytas.Tool {
+	return &archytas.Tool{
+		Name: "list_datasets",
+		Doc:  "List the registered datasets available to build pipelines over.",
+		Examples: []string{
+			"what datasets are available?",
+			"list the registered datasets",
+		},
+		Extract: extractListDatasets,
+		Run: func(env *archytas.Env, args map[string]any) (string, error) {
+			names := s.ctx.Datasets()
+			if len(names) == 0 {
+				return "No datasets registered yet.", nil
+			}
+			return "Registered datasets: " + strings.Join(names, ", "), nil
+		},
+	}
+}
+
+// baseName extracts a dataset name from a path.
+func baseName(path string) string {
+	path = strings.TrimRight(path, "/")
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	if path == "" || path == "." || path == ".." {
+		return "dataset"
+	}
+	return path
+}
+
+// autoSchemaName derives a schema name from extracted field names
+// ("dataset_name", "url" -> "ExtractedDatasetName").
+func autoSchemaName(fields []string) string {
+	if len(fields) == 0 {
+		return "Extracted"
+	}
+	parts := strings.Split(fields[0], "_")
+	var b strings.Builder
+	b.WriteString("Extracted")
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]) + p[1:])
+	}
+	return b.String()
+}
+
+// defaultFieldDescs synthesizes field descriptions from names.
+func defaultFieldDescs(fields []string) []string {
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = "The " + strings.ReplaceAll(f, "_", " ") + " extracted from the record."
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package pz_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/pz"
+)
+
+// Example reproduces the paper's Figure 6 pipeline: filter a library of
+// papers for colorectal-cancer studies and extract the public datasets they
+// reference, letting the optimizer pick the physical plan.
+func Example() {
+	ctx, err := pz.NewContext(pz.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	if _, err := ctx.RegisterDocs("sigmod-demo", pz.PDFFile, docs); err != nil {
+		log.Fatal(err)
+	}
+	clinical, err := pz.DeriveSchema("ClinicalData",
+		"A schema for extracting clinical data datasets from papers.",
+		[]string{"name", "description", "url"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := ctx.Dataset("sigmod-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ctx.Execute(
+		ds.Filter("The papers are about colorectal cancer").
+			Convert(clinical, clinical.Doc(), pz.OneToMany),
+		pz.MaxQuality())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted %d datasets from %d papers\n", len(res.Records), len(docs))
+	// Output: extracted 6 datasets from 11 papers
+}
+
+// ExampleDeriveSchema shows dynamic schema generation from names and
+// descriptions, as the chat agent's create_schema tool does.
+func ExampleDeriveSchema() {
+	s, err := pz.DeriveSchema("Author", "Author information from a paper.",
+		[]string{"name", "email", "affiliation"},
+		[]string{"The author's name", "The author's email", "The author's affiliation"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s)
+	// Output: Author(name:string, email:string, affiliation:string)
+}
+
+// ExampleContext_OptimizeOnly inspects the optimizer's choice without
+// running the pipeline.
+func ExampleContext_OptimizeOnly() {
+	ctx, _ := pz.NewContext(pz.Config{})
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	_, _ = ctx.RegisterDocs("papers", pz.PDFFile, docs)
+	ds, _ := ctx.Dataset("papers")
+	plan, candidates, err := ctx.OptimizeOnly(
+		ds.Filter("The papers are about colorectal cancer"),
+		pz.MinCost())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (of %d candidates)\n", plan, len(candidates))
+	// Output: scan(papers) -> embed-filter(atlas-embed) (of 5 candidates)
+}

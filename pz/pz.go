@@ -1,0 +1,434 @@
+// Package pz is the public Palimpzest API: declarative, optimizer-backed AI
+// analytics over unstructured data (paper §2.1). Users register datasets,
+// compose logical pipelines with Filter/Convert and conventional relational
+// operators, pick an optimization policy, and Execute — the library
+// enumerates physical plans, selects one under the policy, runs it, and
+// reports execution statistics.
+//
+// The package mirrors the pipeline shape of the paper's Figure 6:
+//
+//	ctx, _ := pz.NewContext(pz.Config{})
+//	ctx.RegisterDir("sigmod-demo", "./papers")
+//	ds, _ := ctx.Dataset("sigmod-demo")
+//	ds = ds.Filter("The papers are about colorectal cancer")
+//	clinical, _ := pz.DeriveSchema("ClinicalData",
+//	    "A schema for extracting clinical data datasets from papers.",
+//	    []string{"name", "description", "url"},
+//	    []string{"The name of the clinical data dataset",
+//	        "A short description of the content of the dataset",
+//	        "The public URL where the dataset can be accessed"})
+//	ds = ds.Convert(clinical, clinical.Doc(), pz.OneToMany)
+//	res, _ := ctx.Execute(ds, pz.MaxQuality())
+package pz
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/ops"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// Re-exported core types. The internal packages carry the implementations;
+// these aliases are the supported public names.
+type (
+	// Schema describes the attributes of records (names, types, and the
+	// natural-language descriptions LLM extraction uses).
+	Schema = schema.Schema
+	// Field is one schema attribute.
+	Field = schema.Field
+	// FieldType types a field.
+	FieldType = schema.FieldType
+	// Record is one data item flowing through a pipeline.
+	Record = record.Record
+	// Source is a registered dataset.
+	Source = dataset.Source
+	// Policy selects among physical plans.
+	Policy = optimizer.Policy
+	// Plan is an optimized physical plan.
+	Plan = optimizer.Plan
+	// Cardinality declares Convert fan-out.
+	Cardinality = ops.Cardinality
+	// AggFunc enumerates aggregate functions.
+	AggFunc = ops.AggFunc
+)
+
+// Field type constants.
+const (
+	String     = schema.String
+	Int        = schema.Int
+	Float      = schema.Float
+	Bool       = schema.Bool
+	StringList = schema.StringList
+	Bytes      = schema.Bytes
+)
+
+// Cardinality constants (paper Figure 6: pz.Cardinality.ONE_TO_MANY).
+const (
+	OneToOne  = ops.OneToOne
+	OneToMany = ops.OneToMany
+)
+
+// Aggregate function constants.
+const (
+	Count = ops.AggCount
+	Sum   = ops.AggSum
+	Avg   = ops.AggAvg
+	Min   = ops.AggMin
+	Max   = ops.AggMax
+)
+
+// Built-in schemas.
+var (
+	// PDFFile is the native PDF schema auto-selected for .pdf datasets.
+	PDFFile = schema.PDFFile
+	// TextFile is the plain-text file schema.
+	TextFile = schema.TextFile
+	// CSVRow is the CSV row schema.
+	CSVRow = schema.CSVRow
+	// WebPage is the HTML page schema.
+	WebPage = schema.WebPage
+)
+
+// NewSchema constructs a schema from explicit fields.
+func NewSchema(name, doc string, fields ...Field) (*Schema, error) {
+	return schema.New(name, doc, fields...)
+}
+
+// DeriveSchema builds a schema from parallel name/description slices — the
+// dynamic schema generation of the paper's Figure 2.
+func DeriveSchema(name, doc string, fieldNames, fieldDescs []string) (*Schema, error) {
+	return schema.Derive(name, doc, fieldNames, fieldDescs)
+}
+
+// Policies.
+
+// MaxQuality maximizes output quality.
+func MaxQuality() Policy { return optimizer.MaxQuality{} }
+
+// MinCost minimizes dollar cost.
+func MinCost() Policy { return optimizer.MinCost{} }
+
+// MinTime minimizes runtime.
+func MinTime() Policy { return optimizer.MinTime{} }
+
+// MaxQualityAtCost maximizes quality within a dollar budget.
+func MaxQualityAtCost(budgetUSD float64) Policy {
+	return optimizer.MaxQualityAtCost{BudgetUSD: budgetUSD}
+}
+
+// MaxQualityAtTime maximizes quality within a runtime cap (seconds).
+func MaxQualityAtTime(capSec float64) Policy {
+	return optimizer.MaxQualityAtTime{CapSec: capSec}
+}
+
+// MinCostAtQuality minimizes cost subject to a quality floor.
+func MinCostAtQuality(floor float64) Policy {
+	return optimizer.MinCostAtQuality{Floor: floor}
+}
+
+// MinTimeAtQuality minimizes runtime subject to a quality floor.
+func MinTimeAtQuality(floor float64) Policy {
+	return optimizer.MinTimeAtQuality{Floor: floor}
+}
+
+// ParsePolicy resolves a policy by name ("max quality", "min cost", ...)
+// with an optional parameter for constrained policies.
+func ParsePolicy(name string, param float64) (Policy, error) {
+	return optimizer.ParsePolicy(name, param)
+}
+
+// Frontier returns the Pareto-optimal subset of candidate plans (non-
+// dominated on cost, time, and quality).
+func Frontier(plans []*Plan) []*Plan { return optimizer.Frontier(plans) }
+
+// Config configures a Context.
+type Config struct {
+	// Parallelism is the maximum concurrent LLM calls per operator.
+	Parallelism int
+	// SampleSize enables sentinel calibration over that many records.
+	SampleSize int
+	// Pruning enables Pareto pruning during plan enumeration.
+	Pruning bool
+	// FailureRate injects transient LLM failures (testing).
+	FailureRate float64
+	// MaxAttempts bounds per-call LLM retries.
+	MaxAttempts int
+	// Backoff is the base retry backoff.
+	Backoff time.Duration
+	// EnableCache memoizes LLM responses across Execute calls.
+	EnableCache bool
+}
+
+// Context owns a dataset registry and an execution engine. LLM usage
+// accumulates across Execute calls until ResetUsage.
+type Context struct {
+	cfg      Config
+	registry *dataset.Registry
+	executor *exec.Executor
+}
+
+// NewContext builds a Context.
+func NewContext(cfg Config) (*Context, error) {
+	e, err := exec.NewExecutor(exec.Config{
+		Parallelism: cfg.Parallelism,
+		MaxAttempts: cfg.MaxAttempts,
+		Backoff:     cfg.Backoff,
+		FailureRate: cfg.FailureRate,
+		EnableCache: cfg.EnableCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Context{cfg: cfg, registry: dataset.NewRegistry(), executor: e}, nil
+}
+
+// Register adds a dataset source to the context registry.
+func (c *Context) Register(src Source) error { return c.registry.Register(src) }
+
+// RegisterDir registers a local folder as a dataset; every file becomes a
+// record and the schema is chosen from the dominant file extension.
+func (c *Context) RegisterDir(name, dir string) (Source, error) {
+	src, err := dataset.NewDirSource(name, dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.registry.Register(src); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// RegisterRecords registers an in-memory record collection.
+func (c *Context) RegisterRecords(name string, s *Schema, recs []*Record) (Source, error) {
+	src, err := dataset.NewMemSource(name, s, recs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.registry.Register(src); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// RegisterDocs registers synthetic corpus documents (keeps their hidden
+// ground truth for quality measurement).
+func (c *Context) RegisterDocs(name string, s *Schema, docs []*corpus.Doc) (Source, error) {
+	src, err := dataset.NewDocsSource(name, s, docs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.registry.Register(src); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+// Datasets lists registered dataset names.
+func (c *Context) Datasets() []string { return c.registry.Names() }
+
+// Dataset starts a pipeline over a registered dataset (paper Figure 6:
+// pz.Dataset(source=..., schema=...)).
+func (c *Context) Dataset(name string) (*Dataset, error) {
+	src, err := c.registry.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ctx: c, chain: []ops.Logical{&ops.Scan{Source: src}}}, nil
+}
+
+// Executor exposes the underlying engine (usage reports, virtual clock).
+func (c *Context) Executor() *exec.Executor { return c.executor }
+
+// UsageReport renders cumulative per-model LLM usage.
+func (c *Context) UsageReport() string { return c.executor.Service().UsageReport() }
+
+// TotalCost returns cumulative LLM cost across runs.
+func (c *Context) TotalCost() float64 { return c.executor.Service().TotalCost() }
+
+// ResetUsage clears cumulative LLM accounting.
+func (c *Context) ResetUsage() { c.executor.Service().Reset() }
+
+// Dataset is an immutable logical pipeline builder: every operator returns
+// a new Dataset, and errors are deferred to Execute (so chains read
+// cleanly, as in the paper's examples).
+type Dataset struct {
+	ctx   *Context
+	chain []ops.Logical
+	err   error
+}
+
+func (d *Dataset) extend(op ops.Logical) *Dataset {
+	if d.err != nil {
+		return d
+	}
+	chain := make([]ops.Logical, len(d.chain), len(d.chain)+1)
+	copy(chain, d.chain)
+	return &Dataset{ctx: d.ctx, chain: append(chain, op)}
+}
+
+func (d *Dataset) fail(err error) *Dataset {
+	if d.err != nil {
+		return d
+	}
+	return &Dataset{ctx: d.ctx, chain: d.chain, err: err}
+}
+
+// Filter keeps records satisfying a natural-language predicate.
+func (d *Dataset) Filter(predicate string) *Dataset {
+	if predicate == "" {
+		return d.fail(fmt.Errorf("pz: empty filter predicate"))
+	}
+	return d.extend(&ops.Filter{Predicate: predicate})
+}
+
+// FilterUDF keeps records satisfying a Go predicate (zero LLM cost).
+func (d *Dataset) FilterUDF(name string, udf func(*Record) (bool, error)) *Dataset {
+	if udf == nil {
+		return d.fail(fmt.Errorf("pz: nil UDF"))
+	}
+	return d.extend(&ops.Filter{UDF: udf, UDFName: name})
+}
+
+// Convert transforms records into the target schema, computing fields that
+// do not exist on the input.
+func (d *Dataset) Convert(target *Schema, desc string, card Cardinality) *Dataset {
+	if target == nil {
+		return d.fail(fmt.Errorf("pz: convert without target schema"))
+	}
+	return d.extend(&ops.Convert{Target: target, Desc: desc, Card: card})
+}
+
+// Project restricts records to the named fields.
+func (d *Dataset) Project(fields ...string) *Dataset {
+	return d.extend(&ops.Project{Fields: fields})
+}
+
+// Limit caps the record count.
+func (d *Dataset) Limit(n int) *Dataset {
+	return d.extend(&ops.Limit{N: n})
+}
+
+// Distinct removes duplicates by the named fields (all fields when empty).
+func (d *Dataset) Distinct(fields ...string) *Dataset {
+	return d.extend(&ops.Distinct{Fields: fields})
+}
+
+// Aggregate reduces the dataset to one record.
+func (d *Dataset) Aggregate(f AggFunc, field string) *Dataset {
+	return d.extend(&ops.Aggregate{Func: f, Field: field})
+}
+
+// GroupBy groups by key fields and aggregates per group.
+func (d *Dataset) GroupBy(keys []string, f AggFunc, field string) *Dataset {
+	return d.extend(&ops.GroupBy{Keys: keys, Func: f, Field: field})
+}
+
+// Sort orders records by a field.
+func (d *Dataset) Sort(field string, descending bool) *Dataset {
+	return d.extend(&ops.Sort{Field: field, Descending: descending})
+}
+
+// Retrieve keeps the top-k records most semantically similar to query.
+func (d *Dataset) Retrieve(query string, k int) *Dataset {
+	return d.extend(&ops.Retrieve{Query: query, K: k})
+}
+
+// Chain exposes the logical operator chain (for the chat layer and code
+// generation).
+func (d *Dataset) Chain() []ops.Logical {
+	out := make([]ops.Logical, len(d.chain))
+	copy(out, d.chain)
+	return out
+}
+
+// Err returns the first builder error, if any.
+func (d *Dataset) Err() error { return d.err }
+
+// OutputSchema type-checks the pipeline and returns its output schema.
+func (d *Dataset) OutputSchema() (*Schema, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	return ops.ValidatePlan(d.chain)
+}
+
+// Describe renders the logical plan, one operator per line.
+func (d *Dataset) Describe() string {
+	out := ""
+	for i, op := range d.chain {
+		if i > 0 {
+			out += "\n"
+		}
+		out += op.Describe()
+	}
+	return out
+}
+
+// Result is a completed pipeline execution.
+type Result struct {
+	// Records are the pipeline outputs.
+	Records []*Record
+	// Plan is the optimizer's chosen physical plan.
+	Plan *Plan
+	// Candidates is how many plans were considered.
+	Candidates int
+	// Elapsed is the simulated runtime.
+	Elapsed time.Duration
+	// CostUSD is the total LLM cost of the run.
+	CostUSD float64
+	// Stats exposes per-operator statistics.
+	Stats *ops.RunStats
+
+	inner *exec.Result
+}
+
+// Report renders the Figure 5-style execution panel, showing up to
+// maxRecords output records.
+func (r *Result) Report(maxRecords int) string { return exec.Report(r.inner, maxRecords) }
+
+// Execute optimizes and runs the pipeline under the policy (paper Figure 6:
+// records, execution_stats = Execute(output, policy)).
+func (c *Context) Execute(d *Dataset, policy Policy) (*Result, error) {
+	if d == nil {
+		return nil, fmt.Errorf("pz: nil dataset")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	res, err := c.executor.Execute(d.chain, policy, optimizer.Options{
+		Pruning:    c.cfg.Pruning,
+		SampleSize: c.cfg.SampleSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Records:    res.Records,
+		Plan:       res.Plan,
+		Candidates: res.Candidates,
+		Elapsed:    res.Elapsed,
+		CostUSD:    res.CostUSD,
+		Stats:      res.Stats,
+		inner:      res,
+	}, nil
+}
+
+// OptimizeOnly runs the optimizer without executing; it returns the chosen
+// plan and all candidates (used by experiments and the chat "explain"
+// command).
+func (c *Context) OptimizeOnly(d *Dataset, policy Policy) (*Plan, []*Plan, error) {
+	if d == nil {
+		return nil, nil, fmt.Errorf("pz: nil dataset")
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	opt := optimizer.New(optimizer.Options{Pruning: c.cfg.Pruning, SampleSize: c.cfg.SampleSize})
+	return opt.Optimize(d.chain, policy, c.executor.NewCtx())
+}
