@@ -9,9 +9,11 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/llm"
 	"repro/internal/optimizer"
+	"repro/internal/workloads"
 	"repro/pz"
 )
 
@@ -251,6 +253,58 @@ func BenchmarkE9Scaling(b *testing.B) {
 		b.ReportMetric(ratio, "cost_ratio_4x")
 		b.ReportMetric(big.RuntimeSeq.Seconds()/big.RuntimePar8.Seconds(), "par_speedup")
 	}
+}
+
+// BenchmarkExecEngines is the sequential-vs-pipelined executor pair: the
+// same 3-LLM-operator, 100-record plan at Parallelism=8 on both engines
+// (the shared internal/workloads workload the executor acceptance test
+// also runs). The pipelined run also reports its speedup over the
+// sequential engine (simulated clock; the acceptance bar is >= 2x).
+func BenchmarkExecEngines(b *testing.B) {
+	phys, err := workloads.StreamPlan(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOn := func(b *testing.B, run func(*exec.Executor) (*exec.Result, error)) *exec.Result {
+		b.Helper()
+		e, err := exec.NewExecutor(exec.Config{Parallelism: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := run(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Records) == 0 {
+			b.Fatal("benchmark workload produced no records")
+		}
+		return res
+	}
+	seq := runOn(b, func(e *exec.Executor) (*exec.Result, error) { return e.RunSequential(phys) })
+	b.Run("sequential", func(b *testing.B) {
+		var res *exec.Result
+		for i := 0; i < b.N; i++ {
+			res = runOn(b, func(e *exec.Executor) (*exec.Result, error) { return e.RunSequential(phys) })
+		}
+		b.ReportMetric(res.Elapsed.Seconds(), "sim_s")
+		b.ReportMetric(float64(len(res.Records)), "records")
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		var res *exec.Result
+		for i := 0; i < b.N; i++ {
+			res = runOn(b, func(e *exec.Executor) (*exec.Result, error) { return e.RunPipelined(phys) })
+		}
+		speedup := seq.Elapsed.Seconds() / res.Elapsed.Seconds()
+		if speedup < 2 {
+			b.Fatalf("pipelined speedup %.2fx < 2x (seq %v, pipe %v)", speedup, seq.Elapsed, res.Elapsed)
+		}
+		if len(res.Records) != len(seq.Records) {
+			b.Fatalf("engines disagree: %d vs %d records", len(res.Records), len(seq.Records))
+		}
+		b.ReportMetric(res.Elapsed.Seconds(), "sim_s")
+		b.ReportMetric(float64(len(res.Records)), "records")
+		b.ReportMetric(speedup, "speedup_x")
+	})
 }
 
 // BenchmarkMicroLLMFilterCall isolates one simulated filter call.

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pzrun -spec pipeline.json [-policy max-quality] [-param 0] [-records 10]
+//	      [-parallelism 4] [-batch 0] [-progress] [-sample 0]
 //
 // Spec format:
 //
@@ -64,20 +65,22 @@ func main() {
 	policyName := flag.String("policy", "max-quality", "optimization policy")
 	param := flag.Float64("param", 0, "parameter for constrained policies")
 	maxRecords := flag.Int("records", 10, "output records to display")
-	parallelism := flag.Int("parallelism", 4, "max concurrent LLM calls per operator")
+	parallelism := flag.Int("parallelism", 4, "max concurrent LLM calls per operator (>1 selects the pipelined streaming engine)")
+	batch := flag.Int("batch", 0, "record batch size between pipeline stages (0 = auto; floored at -parallelism)")
+	progress := flag.Bool("progress", false, "print per-stage progress events to stderr")
 	sample := flag.Int("sample", 0, "sentinel calibration sample size")
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*specPath, *policyName, *param, *maxRecords, *parallelism, *sample); err != nil {
+	if err := run(*specPath, *policyName, *param, *maxRecords, *parallelism, *batch, *sample, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "pzrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, policyName string, param float64, maxRecords, parallelism, sample int) error {
+func run(specPath, policyName string, param float64, maxRecords, parallelism, batch, sample int, progress bool) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -93,7 +96,14 @@ func run(specPath, policyName string, param float64, maxRecords, parallelism, sa
 		sp.Dataset.Name = "dataset"
 	}
 
-	ctx, err := pz.NewContext(pz.Config{Parallelism: parallelism, SampleSize: sample})
+	cfg := pz.Config{Parallelism: parallelism, StreamBatchSize: batch, SampleSize: sample}
+	if progress {
+		cfg.OnProgress = func(p pz.Progress) {
+			fmt.Fprintf(os.Stderr, "pzrun: op %d %-30s batches=%d records=%d\n",
+				p.OpIndex, p.OpID, p.Batches, p.Records)
+		}
+	}
+	ctx, err := pz.NewContext(cfg)
 	if err != nil {
 		return err
 	}

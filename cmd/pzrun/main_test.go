@@ -44,7 +44,7 @@ func TestRunDemoSpec(t *testing.T) {
 	    {"op": "limit", "n": 10}
 	  ]
 	}`
-	if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 2, 0); err != nil {
+	if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 2, 3, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -69,7 +69,7 @@ func TestRunSpecAllRelationalOps(t *testing.T) {
 	    {"op": "limit", "n": 3}
 	  ]
 	}`
-	if err := run(writeSpec(t, dir, spec), "min-cost", 0, 5, 2, 0); err != nil {
+	if err := run(writeSpec(t, dir, spec), "min-cost", 0, 5, 2, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -83,14 +83,14 @@ func TestRunSpecErrors(t *testing.T) {
 		"bad agg":     `{"dataset": {"name": "x", "dir": "` + dir + `"}, "ops": [{"op": "aggregate", "func": "median"}]}`,
 	}
 	for name, spec := range cases {
-		if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 1, 0); err == nil {
+		if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 1, 0, 0, false); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
-	if err := run("/nonexistent/spec.json", "max-quality", 0, 3, 1, 0); err == nil {
+	if err := run("/nonexistent/spec.json", "max-quality", 0, 3, 1, 0, 0, false); err == nil {
 		t.Error("missing spec file accepted")
 	}
-	if err := run(writeSpec(t, dir, `{"dataset": {"name": "p", "dir": "`+dir+`"}, "ops": []}`), "bogus-policy", 0, 3, 1, 0); err == nil {
+	if err := run(writeSpec(t, dir, `{"dataset": {"name": "p", "dir": "`+dir+`"}, "ops": []}`), "bogus-policy", 0, 3, 1, 0, 0, false); err == nil {
 		t.Error("bad policy accepted")
 	}
 }

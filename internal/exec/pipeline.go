@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ops"
+	"repro/internal/record"
+	"repro/internal/simclock"
+)
+
+// The pipelined streaming executor. Operators are connected by bounded
+// channels of sequence-tagged record batches; every stage runs in its own
+// goroutine, processing batches with the worker-pool width resolved by
+// ops.StageParallelism. Bounded channels give backpressure (a fast scan
+// cannot run arbitrarily far ahead of a slow convert), a context cancels
+// all stages on the first error, and the sink reassembles batches by
+// sequence number so output order is identical to the sequential engine's.
+//
+// Simulated time: each stage accrues latency on its own simclock.Tally.
+// Stages that stream overlap, so a run of consecutive streamable stages
+// costs the maximum of their stage times; a blocking stage (sort,
+// aggregate, retrieve, ...) is a barrier that must wait for all upstream
+// work and then contributes its full time. The shared clock advances by
+// that combined wall-clock once at the end of the run.
+
+// pipelineDepth bounds each inter-stage channel: at most this many batches
+// buffer between adjacent stages before the producer blocks (backpressure).
+const pipelineDepth = 2
+
+// defaultStreamBatch is the batch size used when Config.StreamBatchSize is
+// zero and Parallelism does not demand a larger one.
+const defaultStreamBatch = 8
+
+// Progress is one pipeline progress event, reported per completed batch
+// (pipelined engine) or per completed operator (sequential engine).
+type Progress struct {
+	// OpIndex is the operator's position in the physical plan.
+	OpIndex int
+	// OpID and Kind identify the physical operator.
+	OpID string
+	Kind string
+	// Batches is how many batches the stage has completed so far.
+	Batches int
+	// Records is the cumulative record count the stage has emitted.
+	Records int
+}
+
+// batch is a sequence-tagged slice of records flowing between stages.
+type batch struct {
+	seq  int
+	recs []*record.Record
+}
+
+// batchSize resolves the configured stream batch size. The result is never
+// below Parallelism: a smaller batch would cap the per-stage worker pool at
+// the batch size (runParallel clamps to the batch length), serializing LLM
+// calls inside every stage and making the pipelined engine slower than the
+// sequential one it replaces.
+func (e *Executor) batchSize() int {
+	size := e.cfg.StreamBatchSize
+	if size <= 0 {
+		size = defaultStreamBatch
+	}
+	if size < e.cfg.Parallelism {
+		size = e.cfg.Parallelism
+	}
+	return size
+}
+
+// progress emits one progress event (serialized, so callbacks never run
+// concurrently even though stages do).
+func (e *Executor) progress(pos int, op ops.Physical, batches, records int) {
+	if e.cfg.OnProgress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	e.cfg.OnProgress(Progress{
+		OpIndex: pos, OpID: op.ID(), Kind: op.Kind(),
+		Batches: batches, Records: records,
+	})
+	e.progressMu.Unlock()
+}
+
+// RunPipelined executes a physical plan on the streaming engine regardless
+// of the configured parallelism. Most callers should use RunPhysical, which
+// picks the engine from Config.Parallelism.
+func (e *Executor) RunPipelined(phys []ops.Physical) (*Result, error) {
+	if len(phys) == 0 {
+		return nil, fmt.Errorf("exec: empty physical plan")
+	}
+	root := e.NewCtx()
+	startCost := e.svc.TotalCost()
+	start := e.clock.Now()
+
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var failOnce sync.Once
+	var failErr error
+	fail := func(pos int, op ops.Physical, err error) {
+		failOnce.Do(func() {
+			failErr = fmt.Errorf("exec: operator %d (%s): %w", pos, op.ID(), err)
+			cancel()
+		})
+	}
+
+	// One stage context per operator: pinned plan position, stage-local
+	// clock, and the stage's resolved worker-pool width.
+	tallies := make([]*simclock.Tally, len(phys))
+	stageCtxs := make([]*ops.Ctx, len(phys))
+	for i, op := range phys {
+		tallies[i] = simclock.NewTally(start)
+		stageCtxs[i] = root.ForOp(i, tallies[i], ops.StageParallelism(op, e.cfg.Parallelism))
+	}
+
+	// chans[i] carries stage i's output batches.
+	chans := make([]chan batch, len(phys))
+	for i := range chans {
+		chans[i] = make(chan batch, pipelineDepth)
+	}
+	send := func(ch chan<- batch, b batch) bool {
+		select {
+		case ch <- b:
+			return true
+		case <-cctx.Done():
+			return false
+		}
+	}
+	size := e.batchSize()
+	// emitBatches chunks recs into size-record, sequence-tagged batches,
+	// sending each downstream (abandoning on cancellation) and reporting
+	// progress — the shared protocol of the source and barrier stages.
+	emitBatches := func(pos int, op ops.Physical, out chan<- batch, recs []*record.Record) {
+		if len(recs) == 0 {
+			// Propagate one empty batch so every downstream stage still
+			// executes (on empty input) and records its stats row — the
+			// sequential engine always calls each operator, and the
+			// per-operator statistics must match across engines.
+			if send(out, batch{}) {
+				e.progress(pos, op, 1, 0)
+			}
+			return
+		}
+		seq := 0
+		for off := 0; off < len(recs); off += size {
+			end := off + size
+			if end > len(recs) {
+				end = len(recs)
+			}
+			if !send(out, batch{seq: seq, recs: recs[off:end]}) {
+				return
+			}
+			seq++
+			e.progress(pos, op, seq, end)
+		}
+	}
+	var wg sync.WaitGroup
+
+	// Source stage: run the scan once, chunk its output into tagged batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chans[0])
+		op := phys[0]
+		recs, err := op.Execute(stageCtxs[0], nil)
+		if err != nil {
+			fail(0, op, err)
+			return
+		}
+		emitBatches(0, op, chans[0], recs)
+	}()
+
+	// Interior stages.
+	for i := 1; i < len(phys); i++ {
+		wg.Add(1)
+		go func(pos int) {
+			defer wg.Done()
+			defer close(chans[pos])
+			op := phys[pos]
+			sctx := stageCtxs[pos]
+			in := chans[pos-1]
+
+			if ops.IsStreamable(op) {
+				batches, emitted := 0, 0
+				for b := range in {
+					out, err := op.Execute(sctx, b.recs)
+					if err != nil {
+						fail(pos, op, err)
+						return
+					}
+					if !send(chans[pos], batch{seq: b.seq, recs: out}) {
+						return
+					}
+					batches++
+					emitted += len(out)
+					e.progress(pos, op, batches, emitted)
+				}
+				return
+			}
+
+			// Blocking operator: a barrier. Materialize the full input in
+			// sequence order, execute once, re-chunk with fresh tags.
+			var gathered []batch
+			for b := range in {
+				gathered = append(gathered, b)
+			}
+			if cctx.Err() != nil {
+				return
+			}
+			// Each channel currently has a single producer emitting in
+			// ascending seq order, so this sort is a no-op today; the
+			// seq-tag protocol (not arrival order) is the ordering
+			// contract, which keeps determinism locally provable and
+			// leaves room for multi-goroutine stages.
+			sort.Slice(gathered, func(a, b int) bool { return gathered[a].seq < gathered[b].seq })
+			var all []*record.Record
+			for _, b := range gathered {
+				all = append(all, b.recs...)
+			}
+			out, err := op.Execute(sctx, all)
+			if err != nil {
+				fail(pos, op, err)
+				return
+			}
+			emitBatches(pos, op, chans[pos], out)
+		}(i)
+	}
+
+	// Sink: reassemble the last stage's batches in sequence order.
+	var outBatches []batch
+	for b := range chans[len(phys)-1] {
+		outBatches = append(outBatches, b)
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	// As above: single-producer FIFO delivery already orders the batches;
+	// the sort enforces the seq-tag contract rather than relying on it.
+	sort.Slice(outBatches, func(a, b int) bool { return outBatches[a].seq < outBatches[b].seq })
+	var recs []*record.Record
+	for _, b := range outBatches {
+		recs = append(recs, b.recs...)
+	}
+
+	// Fold the stage clocks into the run's wall-clock (overlapping
+	// streamable segments cost their maximum; barriers add in full) and
+	// advance the shared clock once. Elapsed is the fold itself, not a
+	// shared-clock diff: retry backoff is already inside each response's
+	// Latency (and therefore inside the tallies), while the retry client
+	// additionally sleeps backoff on the shared clock — a diff would
+	// count it twice whenever FailureRate > 0.
+	stageTimes := make([]time.Duration, len(tallies))
+	for i, tl := range tallies {
+		stageTimes[i] = tl.Total()
+	}
+	wall := ops.PipelinedWallTime(phys, stageTimes)
+	e.clock.Sleep(wall)
+	return &Result{
+		Records: recs,
+		Stats:   root.Stats,
+		Elapsed: wall,
+		CostUSD: e.svc.TotalCost() - startCost,
+	}, nil
+}

@@ -32,6 +32,10 @@ func (f *LLMFilterExec) ID() string { return fmt.Sprintf("llm-filter(%s)", f.Mod
 // Kind implements Physical.
 func (f *LLMFilterExec) Kind() string { return "filter" }
 
+// Streamable implements Streamer: the filter judges each record
+// independently, so any batch partition yields the same kept set.
+func (f *LLMFilterExec) Streamable() bool { return true }
+
 // selectivity returns the calibrated or default selectivity.
 func (f *LLMFilterExec) selectivity() float64 {
 	if f.SelEstimate > 0 {
@@ -114,7 +118,9 @@ type EmbedFilterExec struct {
 // ID implements Physical.
 func (f *EmbedFilterExec) ID() string { return "embed-filter(atlas-embed)" }
 
-// Kind implements Physical.
+// Kind implements Physical. EmbedFilterExec is deliberately NOT
+// streamable: its adaptive mode thresholds on the whole batch's mean
+// similarity, so partitioning the input would change the kept set.
 func (f *EmbedFilterExec) Kind() string { return "filter" }
 
 // EmbedFilterQuality is the modeled quality of embedding-similarity
@@ -201,6 +207,10 @@ func (c *LLMConvertExec) ID() string {
 
 // Kind implements Physical.
 func (c *LLMConvertExec) Kind() string { return "convert" }
+
+// Streamable implements Streamer: each record converts independently and
+// children inherit the input order, so batches decompose cleanly.
+func (c *LLMConvertExec) Streamable() bool { return true }
 
 // FieldwiseQualityBonus is the modeled quality advantage of converting one
 // field per call.

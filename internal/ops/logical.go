@@ -6,6 +6,14 @@
 // operator exposes its candidate *physical* implementations; for LLM-backed
 // operators there is one physical per catalog model (and strategy), which
 // is exactly the plan space the optimizer searches.
+//
+// Physical operators may additionally declare execution capabilities the
+// pipelined streaming engine (internal/exec) consumes: Streamer marks an
+// operator batch-decomposable so record batches stream through it, and
+// ParallelHinter overrides the engine-wide worker-pool width for its
+// stage. Operators without Streamer act as pipeline barriers. See
+// docs/architecture.md for how stages, batches, and the cost model fit
+// together.
 package ops
 
 import (

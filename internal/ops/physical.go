@@ -42,6 +42,73 @@ type Physical interface {
 	Execute(ctx *Ctx, in []*record.Record) ([]*record.Record, error)
 }
 
+// Streamer is an optional Physical capability. A streamable operator's
+// Execute is batch-decomposable: running it over any partition of the input
+// and concatenating the outputs (in partition order) is equivalent to one
+// call over the whole input. The pipelined executor (internal/exec) streams
+// record batches through streamable operators and treats every other
+// operator as a barrier that materializes its full input first.
+type Streamer interface {
+	// Streamable reports batch-decomposability.
+	Streamable() bool
+}
+
+// IsStreamable reports whether p declares the Streamer capability and is
+// batch-decomposable. Operators without the capability are conservatively
+// treated as blocking.
+func IsStreamable(p Physical) bool {
+	s, ok := p.(Streamer)
+	return ok && s.Streamable()
+}
+
+// ParallelHinter is an optional Physical capability: an operator that wants
+// a worker-pool width different from the engine-wide Config.Parallelism
+// (e.g. pure-CPU operators that gain nothing from overlapping LLM calls)
+// returns its preference here.
+type ParallelHinter interface {
+	// PreferredParallelism maps the engine-wide setting to this operator's
+	// pool size. Results < 1 are normalized to 1.
+	PreferredParallelism(engineWide int) int
+}
+
+// StageParallelism resolves the worker-pool width for one operator stage:
+// the engine-wide default, overridden by the operator's ParallelHinter
+// capability when present.
+func StageParallelism(p Physical, engineWide int) int {
+	if engineWide < 1 {
+		engineWide = 1
+	}
+	if h, ok := p.(ParallelHinter); ok {
+		if n := h.PreferredParallelism(engineWide); n >= 1 {
+			return n
+		}
+		return 1
+	}
+	return engineWide
+}
+
+// PipelinedWallTime folds per-stage times into the streaming engine's
+// wall-clock model: consecutive streamable stages overlap, so a segment of
+// them costs its maximum stage time; every blocking stage is a barrier
+// that waits for all upstream work and then contributes its full time.
+// Shared by internal/exec (measured stage durations) and the optimizer
+// (estimated stage seconds) so the two can never drift apart.
+func PipelinedWallTime[T interface{ ~int64 | ~float64 }](phys []Physical, times []T) T {
+	var total, segment T
+	for i, op := range phys {
+		t := times[i]
+		if i > 0 && !IsStreamable(op) {
+			total += segment + t
+			segment = 0
+			continue
+		}
+		if t > segment {
+			segment = t
+		}
+	}
+	return total + segment
+}
+
 // Ctx is the execution context shared by physical operators in one run.
 type Ctx struct {
 	// Client performs completion calls (typically a retry client,
@@ -60,8 +127,22 @@ type Ctx struct {
 }
 
 // SetCurrentOp tells the context which plan position is executing; the
-// executor calls this before each operator.
+// sequential executor calls this before each operator. The pipelined
+// executor uses ForOp instead, because its stages run concurrently.
 func (c *Ctx) SetCurrentOp(idx int) { c.curOp = idx }
+
+// ForOp returns a copy of the context pinned to plan position pos, with its
+// own clock and parallelism. The pipelined executor derives one per
+// operator stage so that concurrent stages never share the mutable
+// current-operator field and each stage's simulated time accrues on its own
+// clock. Stats (mutex-protected) and the LLM client remain shared.
+func (c *Ctx) ForOp(pos int, clock simclock.Clock, parallelism int) *Ctx {
+	child := *c
+	child.curOp = pos
+	child.Clock = clock
+	child.Parallelism = parallelism
+	return &child
+}
 
 // parallelismOrOne normalizes the parallelism setting.
 func (c *Ctx) parallelismOrOne() int {

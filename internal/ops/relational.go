@@ -21,6 +21,10 @@ func (s *ScanExec) ID() string { return fmt.Sprintf("scan(%s)", s.Source.Name())
 // Kind implements Physical.
 func (s *ScanExec) Kind() string { return "scan" }
 
+// Streamable implements Streamer. The pipelined executor runs the scan once
+// as the pipeline source and chunks its output into batches.
+func (s *ScanExec) Streamable() bool { return true }
+
 // Estimate implements Physical. Scan sets the initial cardinality; the
 // optimizer pre-populates in.Cardinality/AvgTokens from the source, so the
 // estimate passes through.
@@ -64,6 +68,13 @@ func (u *UDFFilterExec) ID() string {
 // Kind implements Physical.
 func (u *UDFFilterExec) Kind() string { return "filter" }
 
+// Streamable implements Streamer: the UDF judges records independently.
+func (u *UDFFilterExec) Streamable() bool { return true }
+
+// PreferredParallelism implements ParallelHinter: a UDF filter is pure Go
+// with no LLM latency to overlap, so one worker suffices.
+func (u *UDFFilterExec) PreferredParallelism(int) int { return 1 }
+
 // Estimate implements Physical. Default selectivity 0.5.
 func (u *UDFFilterExec) Estimate(in Estimate) Estimate {
 	return estimateCheap(in, in.Cardinality*0.5)
@@ -96,6 +107,12 @@ func (p *ProjectExec) ID() string { return p.Project.Describe() }
 
 // Kind implements Physical.
 func (p *ProjectExec) Kind() string { return "project" }
+
+// Streamable implements Streamer: projection is per-record.
+func (p *ProjectExec) Streamable() bool { return true }
+
+// PreferredParallelism implements ParallelHinter: projection is pure CPU.
+func (p *ProjectExec) PreferredParallelism(int) int { return 1 }
 
 // Estimate implements Physical.
 func (p *ProjectExec) Estimate(in Estimate) Estimate {

@@ -1,0 +1,96 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ops"
+)
+
+// TestPipelinedTimeIsMaxStageNotSum: for an all-streamable chain the
+// pipelined runtime estimate equals the slowest stage's time delta, and
+// Plan.Time reports it only when the optimizer targeted the streaming
+// engine.
+func TestPipelinedTimeIsMaxStageNotSum(t *testing.T) {
+	chain := demoChain(t)
+	plan, _, err := New(Options{Pipelined: true}).Optimize(chain, MaxQuality{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDelta, prev float64
+	for _, est := range plan.PerOp {
+		if dt := est.TimeSec - prev; dt > maxDelta {
+			maxDelta = dt
+		}
+		prev = est.TimeSec
+	}
+	if math.Abs(plan.TimePipelined-maxDelta) > 1e-9 {
+		t.Errorf("TimePipelined = %.3f, want max stage delta %.3f", plan.TimePipelined, maxDelta)
+	}
+	if plan.Time() != plan.TimePipelined {
+		t.Errorf("Time() = %.3f, want pipelined %.3f", plan.Time(), plan.TimePipelined)
+	}
+	if plan.TimePipelined >= plan.Final.TimeSec {
+		t.Errorf("pipelined estimate %.3f not below sequential sum %.3f",
+			plan.TimePipelined, plan.Final.TimeSec)
+	}
+
+	seqPlan, _, err := New(Options{}).Optimize(chain, MaxQuality{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqPlan.Time() != seqPlan.Final.TimeSec {
+		t.Errorf("sequential Time() = %.3f, want sum %.3f", seqPlan.Time(), seqPlan.Final.TimeSec)
+	}
+}
+
+// TestPruningConsistentWithPipelinedSelection: with the streaming model
+// enabled, Pareto pruning judges plans by the same pipelined time metric
+// the policy uses, so the pipelined-fastest plan is never pruned away.
+func TestPruningConsistentWithPipelinedSelection(t *testing.T) {
+	chain := demoChain(t)
+	full, _, err := New(Options{Pipelined: true}).Optimize(chain, MinTime{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, _, err := New(Options{Pipelined: true, Pruning: true}).Optimize(chain, MinTime{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Time() != full.Time() {
+		t.Errorf("pruned min-time plan %.3fs != unpruned optimum %.3fs (pruning used a different time metric)",
+			pruned.Time(), full.Time())
+	}
+}
+
+// TestPipelinedTimeBlockingBarrier: a blocking operator (sort) contributes
+// its full time on top of the preceding streamable segment instead of
+// overlapping with it.
+func TestPipelinedTimeBlockingBarrier(t *testing.T) {
+	chain := append(demoChain(t), &ops.Sort{Field: "name"})
+	plan, _, err := New(Options{Pipelined: true}).Optimize(chain, MaxQuality{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Ops) != 4 {
+		t.Fatalf("plan has %d ops", len(plan.Ops))
+	}
+	if ops.IsStreamable(plan.Ops[3]) {
+		t.Fatal("sort should be a blocking stage")
+	}
+	var maxDelta, prev float64
+	deltas := make([]float64, len(plan.PerOp))
+	for i, est := range plan.PerOp {
+		deltas[i] = est.TimeSec - prev
+		prev = est.TimeSec
+	}
+	for _, dt := range deltas[:3] {
+		if dt > maxDelta {
+			maxDelta = dt
+		}
+	}
+	want := maxDelta + deltas[3]
+	if math.Abs(plan.TimePipelined-want) > 1e-9 {
+		t.Errorf("TimePipelined = %.6f, want segment max + sort = %.6f", plan.TimePipelined, want)
+	}
+}

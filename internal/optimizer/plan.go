@@ -10,6 +10,12 @@
 // over a small record sample to measure per-operator selectivity and
 // fan-out before full enumeration (the sample's LLM calls are charged to
 // usage, as in the real system).
+//
+// Runtime estimates come in two flavors matching internal/exec's two
+// engines: the default sequential sum of per-operator times, and — with
+// Options.Pipelined — the streaming model, where consecutive streamable
+// stages overlap and cost only their slowest member (see
+// docs/architecture.md for the pipeline dataflow).
 package optimizer
 
 import (
@@ -30,9 +36,18 @@ type Plan struct {
 	PerOp []ops.Estimate
 	// Final is PerOp's last entry.
 	Final ops.Estimate
+	// TimePipelined is the estimated runtime under the pipelined streaming
+	// executor: consecutive streamable stages overlap, so a segment costs
+	// its slowest stage; blocking stages are barriers contributing their
+	// full time (mirroring exec's wall-clock model). Computed for every
+	// plan; Time reports it when the optimizer ran with Options.Pipelined.
+	TimePipelined float64
 	// ConstraintViolated reports that the selecting policy could not meet
 	// its constraint and fell back to the nearest plan.
 	ConstraintViolated bool
+
+	// pipelined selects which runtime estimate Time reports.
+	pipelined bool
 }
 
 // String renders the plan as "op -> op -> op".
@@ -47,8 +62,15 @@ func (p *Plan) String() string {
 // Cost returns the plan's estimated total dollar cost.
 func (p *Plan) Cost() float64 { return p.Final.CostUSD }
 
-// Time returns the plan's estimated runtime in seconds.
-func (p *Plan) Time() float64 { return p.Final.TimeSec }
+// Time returns the plan's estimated runtime in seconds: the sequential
+// sum of operator times by default, or the pipelined estimate
+// (TimePipelined) when the optimizer targeted the streaming engine.
+func (p *Plan) Time() float64 {
+	if p.pipelined {
+		return p.TimePipelined
+	}
+	return p.Final.TimeSec
+}
 
 // Quality returns the plan's estimated output quality in (0,1].
 func (p *Plan) Quality() float64 { return p.Final.Quality }
@@ -63,6 +85,11 @@ type Options struct {
 	SampleSize int
 	// MaxPlans caps the number of complete plans retained (0 = unlimited).
 	MaxPlans int
+	// Pipelined makes plan runtime estimates (Plan.Time, and therefore
+	// time-sensitive policies) use the pipelined streaming model — stage
+	// segments cost their maximum, not their sum. The executor sets it
+	// when Parallelism > 1 selects the streaming engine.
+	Pipelined bool
 }
 
 // Optimizer enumerates and ranks physical plans.
@@ -157,10 +184,16 @@ func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib C
 				}
 				est := phys.Estimate(prev)
 				np := &Plan{
-					Logical: chain,
-					Ops:     append(append([]ops.Physical{}, prefix.Ops...), phys),
-					PerOp:   append(append([]ops.Estimate{}, prefix.PerOp...), est),
+					Logical:   chain,
+					Ops:       append(append([]ops.Physical{}, prefix.Ops...), phys),
+					PerOp:     append(append([]ops.Estimate{}, prefix.PerOp...), est),
+					Final:     est,
+					pipelined: o.opts.Pipelined,
 				}
+				// Keep the prefix's pipelined estimate current so Pareto
+				// pruning compares plans by the same time metric the
+				// selecting policy will use (Plan.Time).
+				np.TimePipelined = pipelinedTimeSec(np)
 				next = append(next, np)
 			}
 		}
@@ -172,10 +205,23 @@ func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib C
 		}
 		prefixes = next
 	}
-	for _, p := range prefixes {
-		p.Final = p.PerOp[len(p.PerOp)-1]
-	}
+	// Final, TimePipelined, and the pipelined flag were maintained on
+	// every prefix during expansion (pruning needs them), so complete
+	// plans are already fully populated.
 	return prefixes
+}
+
+// pipelinedTimeSec models a plan's runtime on the streaming engine: the
+// per-operator time deltas folded by the engine's shared wall-clock model
+// (ops.PipelinedWallTime).
+func pipelinedTimeSec(p *Plan) float64 {
+	deltas := make([]float64, len(p.Ops))
+	var prev float64
+	for i := range p.Ops {
+		deltas[i] = p.PerOp[i].TimeSec - prev
+		prev = p.PerOp[i].TimeSec
+	}
+	return ops.PipelinedWallTime(p.Ops, deltas)
 }
 
 // PlanSpaceSize returns the size of the unpruned physical plan space.
@@ -188,13 +234,15 @@ func PlanSpaceSize(chain []ops.Logical) int {
 }
 
 // dominates reports whether a is at least as good as b on every dimension
-// and strictly better on one.
+// and strictly better on one. Time uses Plan.Time, so pruning and policy
+// selection always judge plans by the same runtime model (sequential sum
+// or pipelined fold).
 func dominates(a, b *Plan) bool {
 	ea, eb := a.PerOp[len(a.PerOp)-1], b.PerOp[len(b.PerOp)-1]
-	if ea.CostUSD > eb.CostUSD || ea.TimeSec > eb.TimeSec || ea.Quality < eb.Quality {
+	if ea.CostUSD > eb.CostUSD || a.Time() > b.Time() || ea.Quality < eb.Quality {
 		return false
 	}
-	return ea.CostUSD < eb.CostUSD || ea.TimeSec < eb.TimeSec || ea.Quality > eb.Quality
+	return ea.CostUSD < eb.CostUSD || a.Time() < b.Time() || ea.Quality > eb.Quality
 }
 
 // paretoPrune keeps only non-dominated plans, preserving input order.
@@ -225,7 +273,7 @@ func paretoPrune(plans []*Plan) []*Plan {
 
 func equalEst(a, b *Plan) bool {
 	ea, eb := a.PerOp[len(a.PerOp)-1], b.PerOp[len(b.PerOp)-1]
-	return ea.CostUSD == eb.CostUSD && ea.TimeSec == eb.TimeSec && ea.Quality == eb.Quality
+	return ea.CostUSD == eb.CostUSD && a.Time() == b.Time() && ea.Quality == eb.Quality
 }
 
 // Calibration holds per-logical-position measurements from sentinel

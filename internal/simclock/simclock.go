@@ -75,6 +75,45 @@ func (s *Sim) Elapsed() time.Duration {
 	return s.now.Sub(time.Date(2025, 6, 22, 9, 0, 0, 0, time.UTC))
 }
 
+// Tally is a Clock private to one pipeline stage: Sleep accumulates into a
+// stage-local total instead of advancing any shared clock. The pipelined
+// executor (internal/exec) gives every operator stage its own Tally, then
+// models the run's wall-clock from the stage totals (overlapping stages
+// contribute their maximum, not their sum). It is safe for concurrent use.
+type Tally struct {
+	mu    sync.Mutex
+	base  time.Time
+	total time.Duration
+}
+
+// NewTally returns a Tally starting at base (typically the shared clock's
+// current time when the pipeline starts).
+func NewTally(base time.Time) *Tally { return &Tally{base: base} }
+
+// Now implements Clock: base time plus the accumulated total.
+func (t *Tally) Now() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.base.Add(t.total)
+}
+
+// Sleep implements Clock by accumulating d into the stage total.
+func (t *Tally) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.total += d
+	t.mu.Unlock()
+}
+
+// Total returns the accumulated stage time.
+func (t *Tally) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
 // Group tracks the maximum of a set of concurrent durations. A parallel
 // executor runs k operator invocations at once; the virtual clock should
 // advance by the maximum branch latency, not the sum. Typical use:

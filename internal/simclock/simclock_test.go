@@ -88,3 +88,36 @@ func TestSimEpochIsStable(t *testing.T) {
 		t.Fatalf("two fresh sim clocks disagree: %v vs %v", a.Now(), b.Now())
 	}
 }
+
+func TestTallyAccumulatesWithoutSharedClock(t *testing.T) {
+	base := NewSim().Now()
+	tally := NewTally(base)
+	if !tally.Now().Equal(base) {
+		t.Fatalf("fresh tally Now = %v, want base %v", tally.Now(), base)
+	}
+	tally.Sleep(3 * time.Second)
+	tally.Sleep(-time.Second) // non-positive sleeps are ignored
+	tally.Sleep(2 * time.Second)
+	if tally.Total() != 5*time.Second {
+		t.Errorf("Total = %v, want 5s", tally.Total())
+	}
+	if want := base.Add(5 * time.Second); !tally.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", tally.Now(), want)
+	}
+}
+
+func TestTallyConcurrentSleeps(t *testing.T) {
+	tally := NewTally(NewSim().Now())
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tally.Sleep(time.Second)
+		}()
+	}
+	wg.Wait()
+	if tally.Total() != 10*time.Second {
+		t.Errorf("Total = %v, want 10s", tally.Total())
+	}
+}

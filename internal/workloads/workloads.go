@@ -1,0 +1,65 @@
+// Package workloads builds shared synthetic workloads used by both the
+// executor tests and the top-level benchmarks, so the streaming-engine
+// acceptance test (internal/exec) and BenchmarkExecEngines measure exactly
+// the same plan. It deliberately does not import internal/exec.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/ops"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// StreamPredicates are the three balanced filter predicates of the
+// streaming-engine comparison workload; every generated record's text
+// satisfies all of them (modulo per-model noise), keeping the stages
+// balanced so they overlap fully under the pipelined engine.
+var StreamPredicates = [3]string{
+	"alpha beta study",
+	"gamma delta cohort",
+	"epsilon zeta trial",
+}
+
+// StreamSource builds an in-memory source of n text records whose contents
+// satisfy StreamPredicates.
+func StreamSource(n int) (dataset.Source, error) {
+	recs := make([]*record.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := record.New(schema.TextFile, map[string]any{
+			"filename": fmt.Sprintf("doc-%03d.txt", i),
+			"contents": fmt.Sprintf("doc %d alpha beta gamma delta epsilon zeta study cohort trial", i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+	return dataset.NewMemSource("stream-bench", schema.TextFile, recs)
+}
+
+// StreamChain is the streaming-engine comparison workload: n records
+// flowing through three balanced LLM filter stages.
+func StreamChain(n int) ([]ops.Logical, error) {
+	src, err := StreamSource(n)
+	if err != nil {
+		return nil, err
+	}
+	chain := []ops.Logical{&ops.Scan{Source: src}}
+	for _, p := range StreamPredicates {
+		chain = append(chain, &ops.Filter{Predicate: p})
+	}
+	return chain, nil
+}
+
+// StreamPlan resolves StreamChain to its champion physical plan.
+func StreamPlan(n int) ([]ops.Physical, error) {
+	chain, err := StreamChain(n)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.ChampionPlan(chain)
+}

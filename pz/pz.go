@@ -5,6 +5,13 @@
 // enumerates physical plans, selects one under the policy, runs it, and
 // reports execution statistics.
 //
+// Execution is handled by internal/exec: sequential at
+// Config.Parallelism <= 1, and the pipelined streaming engine otherwise —
+// operator stages run concurrently over bounded channels of record
+// batches (Config.StreamBatchSize), with progress reported through
+// Config.OnProgress. Outputs and per-operator statistics are identical
+// across both engines; only wall-clock changes. See docs/architecture.md.
+//
 // The package mirrors the pipeline shape of the paper's Figure 6:
 //
 //	ctx, _ := pz.NewContext(pz.Config{})
@@ -163,7 +170,19 @@ type Config struct {
 	Backoff time.Duration
 	// EnableCache memoizes LLM responses across Execute calls.
 	EnableCache bool
+	// StreamBatchSize is the record batch size flowing between operator
+	// stages of the pipelined streaming engine, which runs whenever
+	// Parallelism > 1 (default 8; values below Parallelism are raised to
+	// it so batches keep every stage's worker pool full).
+	StreamBatchSize int
+	// OnProgress, when set, receives execution progress events: one per
+	// completed batch per stage (pipelined engine) or one per completed
+	// operator (sequential engine). Events are serialized.
+	OnProgress func(Progress)
 }
+
+// Progress is one execution progress event (see Config.OnProgress).
+type Progress = exec.Progress
 
 // Context owns a dataset registry and an execution engine. LLM usage
 // accumulates across Execute calls until ResetUsage.
@@ -176,11 +195,13 @@ type Context struct {
 // NewContext builds a Context.
 func NewContext(cfg Config) (*Context, error) {
 	e, err := exec.NewExecutor(exec.Config{
-		Parallelism: cfg.Parallelism,
-		MaxAttempts: cfg.MaxAttempts,
-		Backoff:     cfg.Backoff,
-		FailureRate: cfg.FailureRate,
-		EnableCache: cfg.EnableCache,
+		Parallelism:     cfg.Parallelism,
+		MaxAttempts:     cfg.MaxAttempts,
+		Backoff:         cfg.Backoff,
+		FailureRate:     cfg.FailureRate,
+		EnableCache:     cfg.EnableCache,
+		StreamBatchSize: cfg.StreamBatchSize,
+		OnProgress:      cfg.OnProgress,
 	})
 	if err != nil {
 		return nil, err
