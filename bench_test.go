@@ -7,12 +7,20 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/llm"
 	"repro/internal/optimizer"
+	"repro/internal/serve"
 	"repro/internal/workloads"
 	"repro/pz"
 )
@@ -305,6 +313,91 @@ func BenchmarkExecEngines(b *testing.B) {
 		b.ReportMetric(float64(len(res.Records)), "records")
 		b.ReportMetric(speedup, "speedup_x")
 	})
+}
+
+// BenchmarkServeThroughput is the serving-layer pair: 16 synchronous
+// queries pushed through pzserve's HTTP API over one shared pz.Context,
+// once admission-limited to a single execution slot ("sequential") and
+// once with 8 ("concurrent"). Reported metrics are wall-clock queries/sec
+// and the cross-query plan-cache hits the repeat traffic earns; the CI
+// smoke step records this benchmark's output as BENCH_serve.json.
+func BenchmarkServeThroughput(b *testing.B) {
+	const queries = 16
+	specBody := func(pred string) []byte {
+		data, err := json.Marshal(&serve.Spec{
+			Dataset: serve.DatasetSpec{Name: workloads.StreamSourceName},
+			Ops:     []serve.OpSpec{{Op: "filter", Predicate: pred}},
+			Policy:  "min-cost",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data
+	}
+	bodies := make([][]byte, len(workloads.StreamPredicates))
+	for i, p := range workloads.StreamPredicates {
+		bodies[i] = specBody(p)
+	}
+
+	runServe := func(b *testing.B, inflight int) {
+		b.Helper()
+		ctx, err := pz.NewContext(pz.Config{Parallelism: 4, EnableCache: true, CacheCapacity: 1 << 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, sc, err := workloads.StreamRecords(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctx.RegisterRecords(workloads.StreamSourceName, sc, recs); err != nil {
+			b.Fatal(err)
+		}
+		srv, err := serve.New(serve.Config{Context: ctx, MaxInflight: inflight, MaxQueue: queries})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			errs := make(chan error, queries)
+			var wg sync.WaitGroup
+			for q := 0; q < queries; q++ {
+				wg.Add(1)
+				go func(q int) {
+					defer wg.Done()
+					resp, err := http.Post(ts.URL+"/v1/query?wait=1", "application/json",
+						bytes.NewReader(bodies[q%len(bodies)]))
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer resp.Body.Close()
+					if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("query %d: status %d", q, resp.StatusCode)
+					}
+				}(q)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(queries*b.N)/secs, "queries/s")
+		}
+		b.ReportMetric(float64(srv.PlanCache().Stats().Hits)/float64(b.N), "plan_hits")
+	}
+	b.Run("sequential", func(b *testing.B) { runServe(b, 1) })
+	b.Run("concurrent", func(b *testing.B) { runServe(b, 8) })
 }
 
 // BenchmarkMicroLLMFilterCall isolates one simulated filter call.

@@ -1,12 +1,16 @@
 // Command pzrun executes a declarative Palimpzest pipeline described in a
-// JSON spec file — the expert, non-chat path into the same engine.
+// JSON spec file — the expert, non-chat path into the same engine. It runs
+// the pipeline in-process by default, or submits it to a running pzserve
+// daemon with -server.
 //
 // Usage:
 //
 //	pzrun -spec pipeline.json [-policy max-quality] [-param 0] [-records 10]
 //	      [-parallelism 4] [-batch 0] [-progress] [-sample 0]
+//	      [-timeout 0] [-server http://host:8077] [-tenant name]
 //
-// Spec format:
+// The spec format is internal/serve's wire Spec — the same JSON pzserve
+// accepts on /v1/query:
 //
 //	{
 //	  "dataset": {"name": "papers", "dir": "./pdfs"},
@@ -22,116 +26,197 @@
 //	}
 //
 // Supported ops: filter, convert, project, limit, distinct, aggregate,
-// groupby, sort, retrieve.
+// groupby, sort, retrieve. A policy in the spec wins over the -policy
+// flag, so a spec file submitted to pzserve behaves identically here.
+// -timeout bounds the run (local or remote) and exits non-zero when it
+// fires. With -server, dataset.dir is not needed: the daemon resolves
+// dataset.name against its own registry.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/serve"
 	"repro/pz"
 )
 
-type spec struct {
-	Dataset struct {
-		Name string `json:"name"`
-		Dir  string `json:"dir"`
-	} `json:"dataset"`
-	Ops []opSpec `json:"ops"`
-}
-
-type opSpec struct {
-	Op           string   `json:"op"`
-	Predicate    string   `json:"predicate"`
-	Schema       string   `json:"schema"`
-	Doc          string   `json:"doc"`
-	Fields       []string `json:"fields"`
-	Descriptions []string `json:"descriptions"`
-	Cardinality  string   `json:"cardinality"`
-	N            int      `json:"n"`
-	K            int      `json:"k"`
-	Query        string   `json:"query"`
-	Field        string   `json:"field"`
-	Func         string   `json:"func"`
-	Keys         []string `json:"keys"`
-	Descending   bool     `json:"descending"`
+// options collects the flag-derived run configuration.
+type options struct {
+	policy      string
+	param       float64
+	maxRecords  int
+	parallelism int
+	batch       int
+	sample      int
+	progress    bool
+	timeout     time.Duration
+	server      string
+	tenant      string
 }
 
 func main() {
 	specPath := flag.String("spec", "", "pipeline spec JSON file (required)")
-	policyName := flag.String("policy", "max-quality", "optimization policy")
-	param := flag.Float64("param", 0, "parameter for constrained policies")
-	maxRecords := flag.Int("records", 10, "output records to display")
-	parallelism := flag.Int("parallelism", 4, "max concurrent LLM calls per operator (>1 selects the pipelined streaming engine)")
-	batch := flag.Int("batch", 0, "record batch size between pipeline stages (0 = auto; floored at -parallelism)")
-	progress := flag.Bool("progress", false, "print per-stage progress events to stderr")
-	sample := flag.Int("sample", 0, "sentinel calibration sample size")
+	var opts options
+	flag.StringVar(&opts.policy, "policy", "max-quality", "optimization policy (spec-file policy wins when set)")
+	flag.Float64Var(&opts.param, "param", 0, "parameter for constrained policies")
+	flag.IntVar(&opts.maxRecords, "records", 10, "output records to display")
+	flag.IntVar(&opts.parallelism, "parallelism", 4, "max concurrent LLM calls per operator (>1 selects the pipelined streaming engine)")
+	flag.IntVar(&opts.batch, "batch", 0, "record batch size between pipeline stages (0 = auto; floored at -parallelism)")
+	flag.BoolVar(&opts.progress, "progress", false, "print per-stage progress events to stderr")
+	flag.IntVar(&opts.sample, "sample", 0, "sentinel calibration sample size")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "abort the run after this long (0 = no timeout)")
+	flag.StringVar(&opts.server, "server", "", "submit the spec to a running pzserve at this base URL instead of executing locally")
+	flag.StringVar(&opts.tenant, "tenant", "", "tenant name sent to -server via X-PZ-Tenant")
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*specPath, *policyName, *param, *maxRecords, *parallelism, *batch, *sample, *progress); err != nil {
+	if err := run(*specPath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pzrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, policyName string, param float64, maxRecords, parallelism, batch, sample int, progress bool) error {
+// run loads the spec and dispatches to local or remote execution. The
+// -timeout flag becomes a context deadline either way, so a stuck run
+// aborts cleanly with a non-zero exit instead of hanging.
+func run(specPath string, opts options) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
 	}
-	var sp spec
-	if err := json.Unmarshal(data, &sp); err != nil {
+	sp, err := serve.ParseSpec(data)
+	if err != nil {
 		return fmt.Errorf("parse %s: %w", specPath, err)
 	}
-	if sp.Dataset.Dir == "" {
-		return fmt.Errorf("spec needs dataset.dir")
+	if sp.Policy == "" {
+		sp.Policy = opts.policy
+		sp.PolicyParam = opts.param
 	}
-	if sp.Dataset.Name == "" {
-		sp.Dataset.Name = "dataset"
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
 	}
+	if opts.server != "" {
+		return runRemote(ctx, sp, opts)
+	}
+	return runLocal(ctx, sp, opts)
+}
 
-	cfg := pz.Config{Parallelism: parallelism, StreamBatchSize: batch, SampleSize: sample}
-	if progress {
+// runLocal optimizes and executes the pipeline in-process over a fresh
+// pz.Context, honoring ctx cancellation via ExecuteContext.
+func runLocal(ctx context.Context, sp *serve.Spec, opts options) error {
+	cfg := pz.Config{Parallelism: opts.parallelism, StreamBatchSize: opts.batch, SampleSize: opts.sample}
+	if opts.progress {
 		cfg.OnProgress = func(p pz.Progress) {
 			fmt.Fprintf(os.Stderr, "pzrun: op %d %-30s batches=%d records=%d\n",
 				p.OpIndex, p.OpID, p.Batches, p.Records)
 		}
 	}
-	ctx, err := pz.NewContext(cfg)
+	pzctx, err := pz.NewContext(cfg)
 	if err != nil {
 		return err
 	}
-	if _, err := ctx.RegisterDir(sp.Dataset.Name, sp.Dataset.Dir); err != nil {
-		return err
-	}
-	ds, err := ctx.Dataset(sp.Dataset.Name)
+	ds, err := sp.Build(pzctx)
 	if err != nil {
 		return err
 	}
-	for i, op := range sp.Ops {
-		ds, err = applyOp(ds, op)
-		if err != nil {
-			return fmt.Errorf("op %d (%s): %w", i, op.Op, err)
-		}
-	}
-	policy, err := pz.ParsePolicy(policyName, param)
+	policy, err := sp.ParsePolicy()
 	if err != nil {
 		return err
 	}
 	fmt.Println("logical plan:")
 	fmt.Println(indent(ds.Describe()))
-	res, err := ctx.Execute(ds, policy)
+	res, err := pzctx.ExecuteContext(ctx, ds, policy)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
-	fmt.Print(res.Report(maxRecords))
+	fmt.Print(res.Report(opts.maxRecords))
+	return nil
+}
+
+// runRemote submits the spec to a pzserve daemon synchronously
+// (/v1/query?wait=1) and renders the returned result. Canceling ctx drops
+// the connection, which aborts the job server-side.
+func runRemote(ctx context.Context, sp *serve.Spec, opts options) error {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(opts.server, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := base + "/v1/query?wait=1"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if opts.tenant != "" {
+		req.Header.Set("X-PZ-Tenant", opts.tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (status %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: status %d: %s", resp.StatusCode, data)
+	}
+	var view serve.JobView
+	if err := json.Unmarshal(data, &view); err != nil {
+		return fmt.Errorf("server: parse response: %w", err)
+	}
+	if view.Status != serve.StatusDone || view.Result == nil {
+		return fmt.Errorf("server: job %s %s: %s", view.ID, view.Status, view.Error)
+	}
+	r := view.Result
+	fmt.Printf("job %s (%s)\n", view.ID, r.Policy)
+	fmt.Println("physical plan:")
+	fmt.Println(indent(r.Plan))
+	var records []map[string]string
+	if err := json.Unmarshal(r.Records, &records); err != nil {
+		return err
+	}
+	shown := records
+	if opts.maxRecords >= 0 && len(shown) > opts.maxRecords {
+		shown = shown[:opts.maxRecords]
+	}
+	pretty, err := json.MarshalIndent(shown, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(pretty))
+	cached := ""
+	if r.PlanCached {
+		cached = ", plan cached"
+	}
+	fmt.Printf("%d records (%d shown) in %d ms simulated, $%.4f%s\n",
+		r.Count, len(shown), r.ElapsedSimMS, r.CostUSD, cached)
 	return nil
 }
 
@@ -141,66 +226,4 @@ func indent(s string) string {
 		lines[i] = "  " + lines[i]
 	}
 	return strings.Join(lines, "\n")
-}
-
-func applyOp(ds *pz.Dataset, op opSpec) (*pz.Dataset, error) {
-	switch strings.ToLower(op.Op) {
-	case "filter":
-		return ds.Filter(op.Predicate), nil
-	case "convert":
-		name := op.Schema
-		if name == "" {
-			name = "Extracted"
-		}
-		sc, err := pz.DeriveSchema(name, op.Doc, op.Fields, op.Descriptions)
-		if err != nil {
-			return nil, err
-		}
-		card := pz.OneToOne
-		if strings.EqualFold(op.Cardinality, "one_to_many") {
-			card = pz.OneToMany
-		}
-		return ds.Convert(sc, sc.Doc(), card), nil
-	case "project":
-		return ds.Project(op.Fields...), nil
-	case "limit":
-		return ds.Limit(op.N), nil
-	case "distinct":
-		return ds.Distinct(op.Fields...), nil
-	case "aggregate":
-		f, err := parseAgg(op.Func)
-		if err != nil {
-			return nil, err
-		}
-		return ds.Aggregate(f, op.Field), nil
-	case "groupby":
-		f, err := parseAgg(op.Func)
-		if err != nil {
-			return nil, err
-		}
-		return ds.GroupBy(op.Keys, f, op.Field), nil
-	case "sort":
-		return ds.Sort(op.Field, op.Descending), nil
-	case "retrieve":
-		return ds.Retrieve(op.Query, op.K), nil
-	default:
-		return nil, fmt.Errorf("unknown op %q", op.Op)
-	}
-}
-
-func parseAgg(name string) (pz.AggFunc, error) {
-	switch strings.ToLower(name) {
-	case "count", "":
-		return pz.Count, nil
-	case "sum":
-		return pz.Sum, nil
-	case "avg", "average", "mean":
-		return pz.Avg, nil
-	case "min":
-		return pz.Min, nil
-	case "max":
-		return pz.Max, nil
-	default:
-		return pz.Count, fmt.Errorf("unknown aggregate %q", name)
-	}
 }

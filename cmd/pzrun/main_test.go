@@ -1,16 +1,21 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/dataset"
+	"repro/internal/serve"
 	"repro/pz"
 )
 
-func writeSpec(t *testing.T, dir, spec string) string {
+func writeSpec(t *testing.T, spec string) string {
 	t.Helper()
 	p := filepath.Join(t.TempDir(), "spec.json")
 	if err := os.WriteFile(p, []byte(spec), 0o644); err != nil {
@@ -29,6 +34,12 @@ func demoCorpusDir(t *testing.T) string {
 	return dir
 }
 
+// baseOptions mirrors the test defaults the old positional run() calls
+// used: small display, modest parallelism, no sampling.
+func baseOptions(policy string) options {
+	return options{policy: policy, maxRecords: 3, parallelism: 2, sample: 0}
+}
+
 func TestRunDemoSpec(t *testing.T) {
 	dir := demoCorpusDir(t)
 	spec := `{
@@ -44,7 +55,9 @@ func TestRunDemoSpec(t *testing.T) {
 	    {"op": "limit", "n": 10}
 	  ]
 	}`
-	if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 2, 3, 0, false); err != nil {
+	opts := baseOptions("max-quality")
+	opts.batch = 3
+	if err := run(writeSpec(t, spec), opts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -69,7 +82,9 @@ func TestRunSpecAllRelationalOps(t *testing.T) {
 	    {"op": "limit", "n": 3}
 	  ]
 	}`
-	if err := run(writeSpec(t, dir, spec), "min-cost", 0, 5, 2, 0, 0, false); err != nil {
+	opts := baseOptions("min-cost")
+	opts.maxRecords = 5
+	if err := run(writeSpec(t, spec), opts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -83,29 +98,111 @@ func TestRunSpecErrors(t *testing.T) {
 		"bad agg":     `{"dataset": {"name": "x", "dir": "` + dir + `"}, "ops": [{"op": "aggregate", "func": "median"}]}`,
 	}
 	for name, spec := range cases {
-		if err := run(writeSpec(t, dir, spec), "max-quality", 0, 3, 1, 0, 0, false); err == nil {
+		if err := run(writeSpec(t, spec), baseOptions("max-quality")); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
-	if err := run("/nonexistent/spec.json", "max-quality", 0, 3, 1, 0, 0, false); err == nil {
+	if err := run("/nonexistent/spec.json", baseOptions("max-quality")); err == nil {
 		t.Error("missing spec file accepted")
 	}
-	if err := run(writeSpec(t, dir, `{"dataset": {"name": "p", "dir": "`+dir+`"}, "ops": []}`), "bogus-policy", 0, 3, 1, 0, 0, false); err == nil {
+	if err := run(writeSpec(t, `{"dataset": {"name": "p", "dir": "`+dir+`"}, "ops": []}`), baseOptions("bogus-policy")); err == nil {
 		t.Error("bad policy accepted")
 	}
 }
 
-func TestParseAgg(t *testing.T) {
-	for name, want := range map[string]pz.AggFunc{
-		"count": pz.Count, "": pz.Count, "sum": pz.Sum,
-		"avg": pz.Avg, "mean": pz.Avg, "min": pz.Min, "max": pz.Max,
-	} {
-		got, err := parseAgg(name)
-		if err != nil || got != want {
-			t.Errorf("parseAgg(%q) = %v, %v", name, got, err)
-		}
+// TestRunSpecPolicyWinsOverFlag: a policy embedded in the spec file is
+// used even when the -policy flag carries a different (here invalid)
+// value, so specs behave identically locally and via pzserve.
+func TestRunSpecPolicyWinsOverFlag(t *testing.T) {
+	dir := demoCorpusDir(t)
+	spec := `{"dataset": {"name": "papers", "dir": "` + dir + `"},
+	  "ops": [{"op": "limit", "n": 2}], "policy": "min-cost"}`
+	if err := run(writeSpec(t, spec), baseOptions("bogus-policy")); err != nil {
+		t.Fatalf("spec policy should override the flag: %v", err)
 	}
-	if _, err := parseAgg("median"); err == nil {
-		t.Error("unknown aggregate accepted")
+}
+
+// TestRunTimeoutAborts: a -timeout too short for the pipeline aborts the
+// run cleanly with the context's deadline error (main turns any run()
+// error into a non-zero exit).
+func TestRunTimeoutAborts(t *testing.T) {
+	dir := demoCorpusDir(t)
+	spec := `{
+	  "dataset": {"name": "papers", "dir": "` + dir + `"},
+	  "ops": [
+	    {"op": "filter", "predicate": "The papers are about colorectal cancer"},
+	    {"op": "filter", "predicate": "The papers report a clinical trial"}
+	  ]
+	}`
+	opts := baseOptions("max-quality")
+	opts.timeout = time.Nanosecond
+	err := run(writeSpec(t, spec), opts)
+	if err == nil {
+		t.Fatal("run with 1ns timeout succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// serveForTest starts an in-process pzserve with the demo corpus
+// registered under "papers" and returns its base URL.
+func serveForTest(t *testing.T, onStart func(context.Context, *serve.Job)) string {
+	t.Helper()
+	pzctx, err := pz.NewContext(pz.Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pzctx.RegisterDir("papers", demoCorpusDir(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Context: pzctx, OnJobStart: onStart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts.URL
+}
+
+// TestRunServerMode: -server submits the spec to a pzserve daemon, which
+// resolves the dataset by name (no dir in the spec) and returns the result.
+func TestRunServerMode(t *testing.T) {
+	url := serveForTest(t, nil)
+	spec := `{
+	  "dataset": {"name": "papers"},
+	  "ops": [{"op": "filter", "predicate": "The papers are about colorectal cancer"}]
+	}`
+	opts := baseOptions("min-cost")
+	opts.server = url
+	opts.tenant = "cli"
+	if err := run(writeSpec(t, spec), opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunServerModeErrors: server-side rejections (unknown dataset) and a
+// client -timeout expiring mid-run both surface as errors.
+func TestRunServerModeErrors(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	url := serveForTest(t, func(ctx context.Context, _ *serve.Job) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+	})
+	spec := `{"dataset": {"name": "nope"}, "ops": []}`
+	opts := baseOptions("min-cost")
+	opts.server = url
+	if err := run(writeSpec(t, spec), opts); err == nil {
+		t.Error("unknown dataset accepted by server mode")
+	}
+
+	spec = `{"dataset": {"name": "papers"},
+	  "ops": [{"op": "filter", "predicate": "The papers are about colorectal cancer"}]}`
+	opts.timeout = 50 * time.Millisecond
+	if err := run(writeSpec(t, spec), opts); err == nil {
+		t.Error("remote run outlived the client timeout")
 	}
 }

@@ -1,0 +1,144 @@
+// Command pzserve runs Palimpzest as a concurrent query-serving daemon: an
+// HTTP/JSON API over one shared pz.Context, with admission control (bounded
+// in-flight queries and wait queue, load-shedding with 429), a cross-query
+// plan cache that skips re-optimization on repeat queries, and per-tenant
+// cost accounting.
+//
+// Usage:
+//
+//	pzserve -addr :8077 -dataset papers=./pdfs [-dataset more=./docs]
+//	        [-parallelism 4] [-batch 0] [-sample 0]
+//	        [-max-inflight 8] [-max-queue 16] [-plan-cache 128]
+//	        [-llm-cache=true] [-llm-cache-capacity 4096]
+//	        [-budget 0] [-tenant-budget alice=1.50]
+//
+// API:
+//
+//	POST /v1/query            submit a pipeline spec (async; ?wait=1 blocks)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status and result
+//	POST /v1/jobs/{id}/cancel abort a job
+//	GET  /metrics             serving counters, caches, tenants
+//	GET  /healthz             liveness
+//
+// The spec format is the same JSON cmd/pzrun reads (see internal/serve);
+// the submitting tenant comes from the X-PZ-Tenant header ("default" when
+// absent). See docs/architecture.md ("Serving layer") and the README's
+// curl walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/pz"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	parallelism := flag.Int("parallelism", 4, "max concurrent LLM calls per operator (>1 selects the pipelined streaming engine)")
+	batch := flag.Int("batch", 0, "record batch size between pipeline stages (0 = auto)")
+	sample := flag.Int("sample", 0, "sentinel calibration sample size")
+	maxInflight := flag.Int("max-inflight", 8, "max concurrently executing queries")
+	maxQueue := flag.Int("max-queue", 16, "max queries waiting for a slot before load-shedding with 429")
+	planCache := flag.Int("plan-cache", 128, "cross-query plan cache capacity")
+	llmCache := flag.Bool("llm-cache", true, "memoize LLM responses across queries")
+	llmCacheCap := flag.Int("llm-cache-capacity", 4096, "LLM cache entry bound (0 = unbounded)")
+	budget := flag.Float64("budget", 0, "default per-tenant cost budget in USD (0 = unlimited)")
+
+	datasets := map[string]string{}
+	flag.Func("dataset", "name=dir dataset registration (repeatable)", func(v string) error {
+		name, dir, ok := strings.Cut(v, "=")
+		if !ok || name == "" || dir == "" {
+			return fmt.Errorf("want name=dir, got %q", v)
+		}
+		datasets[name] = dir
+		return nil
+	})
+	budgets := map[string]float64{}
+	flag.Func("tenant-budget", "tenant=usd budget override (repeatable)", func(v string) error {
+		name, usd, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want tenant=usd, got %q", v)
+		}
+		f, err := strconv.ParseFloat(usd, 64)
+		if err != nil {
+			return err
+		}
+		budgets[name] = f
+		return nil
+	})
+	flag.Parse()
+
+	if err := run(*addr, datasets, budgets, serveOptions{
+		parallelism: *parallelism, batch: *batch, sample: *sample,
+		maxInflight: *maxInflight, maxQueue: *maxQueue, planCache: *planCache,
+		llmCache: *llmCache, llmCacheCap: *llmCacheCap, budget: *budget,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "pzserve:", err)
+		os.Exit(1)
+	}
+}
+
+type serveOptions struct {
+	parallelism, batch, sample       int
+	maxInflight, maxQueue, planCache int
+	llmCache                         bool
+	llmCacheCap                      int
+	budget                           float64
+}
+
+func run(addr string, datasets map[string]string, budgets map[string]float64, opts serveOptions) error {
+	ctx, err := pz.NewContext(pz.Config{
+		Parallelism:     opts.parallelism,
+		StreamBatchSize: opts.batch,
+		SampleSize:      opts.sample,
+		EnableCache:     opts.llmCache,
+		CacheCapacity:   opts.llmCacheCap,
+	})
+	if err != nil {
+		return err
+	}
+	for name, dir := range datasets {
+		if _, err := ctx.RegisterDir(name, dir); err != nil {
+			return err
+		}
+		log.Printf("pzserve: registered dataset %q from %s", name, dir)
+	}
+	srv, err := serve.New(serve.Config{
+		Context:          ctx,
+		MaxInflight:      opts.maxInflight,
+		MaxQueue:         opts.maxQueue,
+		PlanCacheSize:    opts.planCache,
+		DefaultBudgetUSD: opts.budget,
+		TenantBudgets:    budgets,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Print("pzserve: shutting down")
+		srv.Close()
+		_ = httpSrv.Shutdown(context.Background())
+	}()
+
+	log.Printf("pzserve: serving on %s (inflight=%d queue=%d plan-cache=%d)",
+		addr, opts.maxInflight, opts.maxQueue, opts.planCache)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -23,6 +23,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -49,6 +50,11 @@ type Config struct {
 	// EnableCache memoizes LLM responses across runs: re-executing a
 	// pipeline over unchanged data costs (almost) nothing.
 	EnableCache bool
+	// CacheCapacity bounds the LLM response cache to that many entries
+	// (LRU eviction). Zero keeps the historical unbounded behavior;
+	// serving deployments should set it so sustained traffic cannot grow
+	// the cache without limit.
+	CacheCapacity int
 	// StreamBatchSize is the record batch size flowing between stages of
 	// the pipelined engine (default 8; ignored at Parallelism <= 1).
 	// Values below Parallelism are raised to it so a small batch cannot
@@ -99,8 +105,11 @@ func NewExecutor(cfg Config) (*Executor, error) {
 		return nil, err
 	}
 	e := &Executor{svc: svc, clock: clock, client: retry, cfg: cfg}
+	if cfg.CacheCapacity < 0 {
+		return nil, fmt.Errorf("exec: cache capacity %d", cfg.CacheCapacity)
+	}
 	if cfg.EnableCache {
-		e.cache = llm.NewCache()
+		e.cache = llm.NewCacheLRU(cfg.CacheCapacity)
 		cached, err := llm.NewCachedClient(retry, e.cache)
 		if err != nil {
 			return nil, err
@@ -156,10 +165,16 @@ type Result struct {
 // pipeline.go). Both engines produce identical records and per-operator
 // call/token/cost statistics.
 func (e *Executor) RunPhysical(phys []ops.Physical) (*Result, error) {
+	return e.RunPhysicalContext(context.Background(), phys)
+}
+
+// RunPhysicalContext is RunPhysical with cancellation: canceling ctx
+// aborts the run between records/batches and returns the context error.
+func (e *Executor) RunPhysicalContext(ctx context.Context, phys []ops.Physical) (*Result, error) {
 	if e.cfg.Parallelism > 1 {
-		return e.RunPipelined(phys)
+		return e.RunPipelinedContext(ctx, phys)
 	}
-	return e.RunSequential(phys)
+	return e.RunSequentialContext(ctx, phys)
 }
 
 // RunSequential executes the plan one operator at a time with full
@@ -167,27 +182,44 @@ func (e *Executor) RunPhysical(phys []ops.Physical) (*Result, error) {
 // Parallelism <= 1, exported so benchmarks and tests can compare engines
 // at equal parallelism.
 func (e *Executor) RunSequential(phys []ops.Physical) (*Result, error) {
+	return e.RunSequentialContext(context.Background(), phys)
+}
+
+// RunSequentialContext is RunSequential with cancellation.
+//
+// Accounting is run-local so that concurrent runs over one Executor (the
+// serving layer) never bleed into each other: simulated time accrues on a
+// per-run Tally (folded into the shared clock once at the end) and cost
+// comes from the run's own per-operator statistics rather than a diff of
+// the shared service totals.
+func (e *Executor) RunSequentialContext(ctx context.Context, phys []ops.Physical) (*Result, error) {
 	if len(phys) == 0 {
 		return nil, fmt.Errorf("exec: empty physical plan")
 	}
-	ctx := e.NewCtx()
-	startCost := e.svc.TotalCost()
-	start := e.clock.Now()
+	tally := simclock.NewTally(e.clock.Now())
+	rctx := e.NewCtx()
+	rctx.Clock = tally
+	rctx.Context = ctx
 	var recs []*record.Record
 	var err error
 	for i, op := range phys {
-		ctx.SetCurrentOp(i)
-		recs, err = op.Execute(ctx, recs)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("exec: operator %d (%s): %w", i, op.ID(), cerr)
+		}
+		rctx.SetCurrentOp(i)
+		recs, err = op.Execute(rctx, recs)
 		if err != nil {
 			return nil, fmt.Errorf("exec: operator %d (%s): %w", i, op.ID(), err)
 		}
 		e.progress(i, op, 1, len(recs))
 	}
+	elapsed := tally.Total()
+	e.clock.Sleep(elapsed)
 	return &Result{
 		Records: recs,
-		Stats:   ctx.Stats,
-		Elapsed: e.clock.Now().Sub(start),
-		CostUSD: e.svc.TotalCost() - startCost,
+		Stats:   rctx.Stats,
+		Elapsed: elapsed,
+		CostUSD: rctx.Stats.TotalCost(),
 	}, nil
 }
 
@@ -195,9 +227,19 @@ func (e *Executor) RunSequential(phys []ops.Physical) (*Result, error) {
 // plan: the engine behind pz.Execute (paper Figure 6: records,
 // execution_stats = Execute(output, policy)).
 func (e *Executor) Execute(chain []ops.Logical, policy optimizer.Policy, opts optimizer.Options) (*Result, error) {
+	return e.ExecuteContext(context.Background(), chain, policy, opts)
+}
+
+// ExecuteContext is Execute with cancellation: ctx aborts sentinel
+// calibration, plan execution, and in-flight operator batches.
+func (e *Executor) ExecuteContext(ctx context.Context, chain []ops.Logical, policy optimizer.Policy, opts optimizer.Options) (*Result, error) {
+	// Calibration (sentinel sampling) runs on a run-local tally so that
+	// concurrent Execute calls cannot pollute each other's optimization
+	// elapsed time; its LLM cost lands in optCtx's stats.
+	optTally := simclock.NewTally(e.clock.Now())
 	optCtx := e.NewCtx()
-	startCost := e.svc.TotalCost()
-	start := e.clock.Now()
+	optCtx.Clock = optTally
+	optCtx.Context = ctx
 	// Time-sensitive policies should judge plans by the engine that will
 	// actually run them; an explicit caller request for the streaming
 	// model is honored either way.
@@ -207,8 +249,9 @@ func (e *Executor) Execute(chain []ops.Logical, policy optimizer.Policy, opts op
 	if err != nil {
 		return nil, err
 	}
-	optElapsed := e.clock.Now().Sub(start)
-	res, err := e.RunPhysical(plan.Ops)
+	optElapsed := optTally.Total()
+	e.clock.Sleep(optElapsed)
+	res, err := e.RunPhysicalContext(ctx, plan.Ops)
 	if err != nil {
 		return nil, err
 	}
@@ -216,11 +259,27 @@ func (e *Executor) Execute(chain []ops.Logical, policy optimizer.Policy, opts op
 	res.Candidates = len(candidates)
 	res.Policy = policy.Describe()
 	// Fold optimization-time (sentinel) cost and time into the run totals.
-	// Composing the run's own Elapsed (rather than re-diffing the shared
-	// clock) keeps the pipelined engine's single-count backoff accounting
-	// intact (see RunPipelined).
+	// Both sides are run-local (tally fold + per-run stats), so the sum is
+	// immune to concurrent runs and keeps the pipelined engine's
+	// single-count backoff accounting intact (see RunPipelined).
 	res.Elapsed = optElapsed + res.Elapsed
-	res.CostUSD = e.svc.TotalCost() - startCost
+	res.CostUSD = optCtx.Stats.TotalCost() + res.CostUSD
+	return res, nil
+}
+
+// ExecutePlanContext runs an already-optimized plan, skipping enumeration
+// and selection entirely — the serving layer's plan-cache hit path.
+// policyDesc labels the run's Policy field in reports.
+func (e *Executor) ExecutePlanContext(ctx context.Context, plan *optimizer.Plan, policyDesc string) (*Result, error) {
+	if plan == nil || len(plan.Ops) == 0 {
+		return nil, fmt.Errorf("exec: nil or empty plan")
+	}
+	res, err := e.RunPhysicalContext(ctx, plan.Ops)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	res.Policy = policyDesc
 	return res, nil
 }
 

@@ -35,9 +35,9 @@ func TestCachedRerunIsNearlyFree(t *testing.T) {
 	if second.Elapsed >= first.Elapsed/10 {
 		t.Errorf("cached rerun elapsed %v, want <10%% of %v", second.Elapsed, first.Elapsed)
 	}
-	hits, _, saved := e.Cache().Stats()
-	if hits == 0 || saved <= 0 {
-		t.Errorf("cache stats: hits=%d saved=%v", hits, saved)
+	st := e.Cache().Stats()
+	if st.Hits == 0 || st.SavedUSD <= 0 {
+		t.Errorf("cache stats: hits=%d saved=%v", st.Hits, st.SavedUSD)
 	}
 }
 

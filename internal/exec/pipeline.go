@@ -89,15 +89,23 @@ func (e *Executor) progress(pos int, op ops.Physical, batches, records int) {
 // of the configured parallelism. Most callers should use RunPhysical, which
 // picks the engine from Config.Parallelism.
 func (e *Executor) RunPipelined(phys []ops.Physical) (*Result, error) {
+	return e.RunPipelinedContext(context.Background(), phys)
+}
+
+// RunPipelinedContext is RunPipelined with cancellation: the engine's
+// internal first-error cancellation context derives from parent, so a
+// canceled caller tears down every stage the same way an operator error
+// does, and the run reports the parent's context error.
+func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physical) (*Result, error) {
 	if len(phys) == 0 {
 		return nil, fmt.Errorf("exec: empty physical plan")
 	}
 	root := e.NewCtx()
-	startCost := e.svc.TotalCost()
 	start := e.clock.Now()
 
-	cctx, cancel := context.WithCancel(context.Background())
+	cctx, cancel := context.WithCancel(parent)
 	defer cancel()
+	root.Context = cctx
 	var failOnce sync.Once
 	var failErr error
 	fail := func(pos int, op ops.Physical, err error) {
@@ -235,6 +243,12 @@ func (e *Executor) RunPipelined(phys []ops.Physical) (*Result, error) {
 		outBatches = append(outBatches, b)
 	}
 	wg.Wait()
+	// Caller cancellation wins over any secondary stage error it induced:
+	// stages observing the canceled context may surface it as an operator
+	// failure, but the run's story is "canceled", not "failed".
+	if err := parent.Err(); err != nil {
+		return nil, fmt.Errorf("exec: run canceled: %w", err)
+	}
 	if failErr != nil {
 		return nil, failErr
 	}
@@ -263,6 +277,8 @@ func (e *Executor) RunPipelined(phys []ops.Physical) (*Result, error) {
 		Records: recs,
 		Stats:   root.Stats,
 		Elapsed: wall,
-		CostUSD: e.svc.TotalCost() - startCost,
+		// Cost comes from the run's own stats, not a shared-service diff,
+		// so concurrent runs over one Executor account independently.
+		CostUSD: root.Stats.TotalCost(),
 	}, nil
 }

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,17 +17,44 @@ type Completer interface {
 
 // Cache memoizes completion responses by semantic request identity, the way
 // Palimpzest caches LLM results so that re-running a pipeline over unchanged
-// data costs nothing. Safe for concurrent use.
+// data costs nothing. Optionally bounded: with a capacity, the least
+// recently used entry is evicted when a new one would exceed it, so
+// sustained serving traffic cannot grow the cache without limit. Safe for
+// concurrent use.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]Response
-	hits    int
-	misses  int
-	saved   float64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      int
+	misses    int
+	evictions int
+	saved     float64
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{entries: map[string]Response{}} }
+// cacheEntry is one LRU node: the key (so eviction can delete from the
+// map) and the stored response.
+type cacheEntry struct {
+	key  string
+	resp Response
+}
+
+// NewCache returns an empty, unbounded cache.
+func NewCache() *Cache { return NewCacheLRU(0) }
+
+// NewCacheLRU returns an empty cache bounded to capacity entries with
+// least-recently-used eviction. capacity <= 0 means unbounded (the
+// NewCache behavior).
+func NewCacheLRU(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+	}
+}
 
 // key derives the cache identity of a request: model, task, the semantic
 // task inputs, and the record's content digest. The raw prompt text is
@@ -49,11 +77,27 @@ func (c *Cache) key(req Request) string {
 	}, "|")
 }
 
-// Stats reports cache effectiveness: hits, misses, and dollars saved.
-func (c *Cache) Stats() (hits, misses int, savedUSD float64) {
+// CacheStats is a snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits and Misses count lookups.
+	Hits, Misses int
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int
+	// SavedUSD is the dollar cost hits avoided paying.
+	SavedUSD float64
+	// Len and Capacity describe occupancy (Capacity 0 = unbounded).
+	Len, Capacity int
+}
+
+// Stats reports cache effectiveness: hits, misses, evictions, and dollars
+// saved.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.saved
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		SavedUSD: c.saved, Len: len(c.entries), Capacity: c.capacity,
+	}
 }
 
 // Len returns the number of cached responses.
@@ -67,7 +111,47 @@ func (c *Cache) Len() int {
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = map[string]Response{}
+	c.entries = map[string]*list.Element{}
+	c.order = list.New()
+}
+
+// lookup returns the cached response for key, updating hit/miss counters
+// and recency order.
+func (c *Cache) lookup(key string) (Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return Response{}, false
+	}
+	c.hits++
+	entry := el.Value.(*cacheEntry)
+	c.saved += entry.resp.CostUSD
+	c.order.MoveToFront(el)
+	return entry.resp, true
+}
+
+// store inserts a response, evicting the least recently used entry when
+// the capacity bound would be exceeded.
+func (c *Cache) store(key string, resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent miss on the same key already stored it; refresh.
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.capacity > 0 && len(c.entries) >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
 }
 
 // CachedClient layers a Cache over any Completer. Hits return a copy of the
@@ -96,19 +180,13 @@ func (c *CachedClient) Complete(req Request) (*Response, error) {
 		return c.inner.Complete(req)
 	}
 	key := c.cache.key(req)
-	c.cache.mu.Lock()
-	if cached, ok := c.cache.entries[key]; ok {
-		c.cache.hits++
-		c.cache.saved += cached.CostUSD
-		c.cache.mu.Unlock()
+	if cached, ok := c.cache.lookup(key); ok {
 		hit := cached
 		hit.CostUSD = 0
 		hit.Latency = 0
 		hit.Extractions = copyExtractions(cached.Extractions)
 		return &hit, nil
 	}
-	c.cache.misses++
-	c.cache.mu.Unlock()
 
 	resp, err := c.inner.Complete(req)
 	if err != nil {
@@ -116,9 +194,7 @@ func (c *CachedClient) Complete(req Request) (*Response, error) {
 	}
 	stored := *resp
 	stored.Extractions = copyExtractions(resp.Extractions)
-	c.cache.mu.Lock()
-	c.cache.entries[key] = stored
-	c.cache.mu.Unlock()
+	c.cache.store(key, stored)
 	return resp, nil
 }
 

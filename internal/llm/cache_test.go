@@ -46,12 +46,12 @@ func TestCachedClientHitSemantics(t *testing.T) {
 	if second.Decision != first.Decision {
 		t.Error("hit decision differs")
 	}
-	hits, misses, saved := cache.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("stats = %d/%d", hits, misses)
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %d/%d", st.Hits, st.Misses)
 	}
-	if saved != first.CostUSD {
-		t.Errorf("saved = %v, want %v", saved, first.CostUSD)
+	if st.SavedUSD != first.CostUSD {
+		t.Errorf("saved = %v, want %v", st.SavedUSD, first.CostUSD)
 	}
 	if svc.TotalCalls() != 1 {
 		t.Errorf("service called %d times, want 1", svc.TotalCalls())
@@ -73,8 +73,8 @@ func TestCacheKeyIgnoresPromptCosmetics(t *testing.T) {
 	if _, err := client.Complete(b); err != nil {
 		t.Fatal(err)
 	}
-	if hits, _, _ := cache.Stats(); hits != 1 {
-		t.Errorf("cosmetically different prompt missed the cache: hits=%d", hits)
+	if st := cache.Stats(); st.Hits != 1 {
+		t.Errorf("cosmetically different prompt missed the cache: hits=%d", st.Hits)
 	}
 }
 
@@ -99,8 +99,8 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if hits, misses, _ := cache.Stats(); hits != 0 || misses != len(variants) {
-		t.Errorf("distinct requests collided: hits=%d misses=%d", hits, misses)
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != len(variants) {
+		t.Errorf("distinct requests collided: hits=%d misses=%d", st.Hits, st.Misses)
 	}
 	if cache.Len() != len(variants) {
 		t.Errorf("cache len = %d", cache.Len())
@@ -146,8 +146,8 @@ func TestCacheClear(t *testing.T) {
 		t.Error("Clear left entries")
 	}
 	_, _ = client.Complete(req)
-	if _, misses, _ := cache.Stats(); misses != 2 {
-		t.Errorf("misses = %d, want 2 after clear", misses)
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 after clear", st.Misses)
 	}
 }
 
@@ -161,5 +161,96 @@ func TestCachedClientValidation(t *testing.T) {
 	client, _ := NewCachedClient(NewService(), NewCache())
 	if _, err := client.Complete(Request{Model: "atlas-large", Task: TaskFilter, Prompt: "p"}); err == nil {
 		t.Error("nil record passed through without error")
+	}
+}
+
+// TestCacheLRUEviction: a bounded cache evicts in least-recently-used
+// order, counts evictions, and keeps saved-USD accounting honest — an
+// evicted entry's next lookup is a fresh miss that pays full price, and
+// only genuine hits accumulate savings.
+func TestCacheLRUEviction(t *testing.T) {
+	svc := NewService()
+	cache := NewCacheLRU(2)
+	client, err := NewCachedClient(svc, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	recs, err := corpus.Records(docs[:3], schema.PDFFile, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := func(i int) Request {
+		return Request{Model: "atlas-large", Task: TaskFilter,
+			Prompt: "p: " + recs[i].Text(), Record: recs[i], Predicate: "about cancer"}
+	}
+
+	costs := make([]float64, 3)
+	for i := 0; i < 2; i++ { // fill: [1, 0] (front = most recent)
+		resp, err := client.Complete(req(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[i] = resp.CostUSD
+	}
+	if _, err := client.Complete(req(0)); err != nil { // touch 0: [0, 1]
+		t.Fatal(err)
+	}
+	if _, err := client.Complete(req(2)); err != nil { // insert 2: evicts 1
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Evictions != 1 || st.Len != 2 || st.Capacity != 2 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	// Record 0 was kept (recently used), record 1 was evicted.
+	if _, err := client.Complete(req(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats(); got.Hits != st.Hits+1 {
+		t.Errorf("kept entry missed: hits %d -> %d", st.Hits, got.Hits)
+	}
+	before := cache.Stats()
+	resp1, err := client.Complete(req(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if resp1.CostUSD != costs[1] {
+		t.Errorf("evicted entry re-fetch cost $%v, want full price $%v", resp1.CostUSD, costs[1])
+	}
+	if after.Misses != before.Misses+1 {
+		t.Errorf("evicted entry should miss: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Evictions != 2 {
+		t.Errorf("re-inserting over a full cache should evict again: evictions=%d", after.Evictions)
+	}
+	// Savings = sum of hit costs: one hit on 0's entry, then another.
+	wantSaved := costs[0] * 2
+	if diff := after.SavedUSD - wantSaved; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("saved = %v, want %v", after.SavedUSD, wantSaved)
+	}
+}
+
+// TestCacheUnboundedNeverEvicts: the default cache keeps every entry.
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	svc := NewService()
+	cache := NewCache()
+	client, _ := NewCachedClient(svc, cache)
+	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
+	recs, err := corpus.Records(docs, schema.PDFFile, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		req := Request{Model: "atlas-small", Task: TaskFilter,
+			Prompt: "p: " + r.Text(), Record: r, Predicate: "x"}
+		if _, err := client.Complete(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Evictions != 0 || st.Len != len(recs) || st.Capacity != 0 {
+		t.Errorf("unbounded cache stats: %+v", st)
 	}
 }

@@ -1,0 +1,43 @@
+package metrics
+
+import "sync"
+
+// Counters is a named set of monotonic counters, the minimal registry the
+// serving layer's /metrics endpoint exposes (admissions, rejections,
+// plan-cache hits, completions). Safe for concurrent use; the zero-valued
+// struct is not usable — construct with NewCounters.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: map[string]int64{}} }
+
+// Add increases the named counter by delta (creating it at zero first).
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increases the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's value (zero when never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of every counter, suitable for JSON rendering.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("nope"); got != 0 {
+		t.Errorf("untouched counter = %d", got)
+	}
+	c.Inc("a")
+	c.Add("a", 2)
+	c.Add("b", 5)
+	if got := c.Get("a"); got != 3 {
+		t.Errorf("a = %d, want 3", got)
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 5 || len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy.
+	snap["a"] = 99
+	if got := c.Get("a"); got != 3 {
+		t.Errorf("snapshot mutation leaked: a = %d", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+}

@@ -152,6 +152,9 @@ func (f *EmbedFilterExec) Execute(ctx *Ctx, in []*record.Record) ([]*record.Reco
 	latencies := []time.Duration{qresp.Latency}
 	sims := make([]float64, len(in))
 	for i, r := range in {
+		if err := ctx.Canceled(); err != nil {
+			return nil, err
+		}
 		rv, resp, err := ctx.Svc.Embed("atlas-embed", r.Text())
 		if err != nil {
 			return nil, err
@@ -451,6 +454,9 @@ func (r *RetrieveExec) Execute(ctx *Ctx, in []*record.Record) ([]*record.Record,
 	byID := make(map[int64]*record.Record, len(in))
 	var latencies []time.Duration
 	for _, rec := range in {
+		if err := ctx.Canceled(); err != nil {
+			return nil, err
+		}
 		vec, resp, err := ctx.Svc.Embed("atlas-embed", rec.Text())
 		if err != nil {
 			return nil, err

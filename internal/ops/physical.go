@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -122,8 +123,22 @@ type Ctx struct {
 	Parallelism int
 	// Stats collects per-operator execution statistics.
 	Stats *RunStats
+	// Context, when non-nil, carries run cancellation: operators poll it
+	// between records so a canceled query stops promptly instead of
+	// finishing its batch. Nil means the run can never be canceled.
+	Context context.Context
 
 	curOp int
+}
+
+// Canceled reports the run's cancellation status: nil while the run is
+// live (or has no cancellation context), context.Canceled or
+// context.DeadlineExceeded after.
+func (c *Ctx) Canceled() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
 }
 
 // SetCurrentOp tells the context which plan position is executing; the
@@ -294,7 +309,10 @@ func advanceForCalls(ctx *Ctx, latencies []time.Duration) time.Duration {
 
 // runParallel applies fn to every record with bounded concurrency,
 // preserving input order of results. The first error cancels nothing (all
-// workers finish their current item) but is returned.
+// workers finish their current item) but is returned. Cancellation via
+// Ctx.Context is checked before each record is dispatched: in-flight
+// records complete, undispatched ones are skipped, and the context error
+// is returned.
 func runParallel[T any](ctx *Ctx, in []*record.Record, fn func(*record.Record) (T, error)) ([]T, error) {
 	p := ctx.parallelismOrOne()
 	if p > len(in) {
@@ -304,6 +322,9 @@ func runParallel[T any](ctx *Ctx, in []*record.Record, fn func(*record.Record) (
 	errs := make([]error, len(in))
 	if p <= 1 {
 		for i, r := range in {
+			if err := ctx.Canceled(); err != nil {
+				return nil, err
+			}
 			results[i], errs[i] = fn(r)
 		}
 	} else {
@@ -319,10 +340,16 @@ func runParallel[T any](ctx *Ctx, in []*record.Record, fn func(*record.Record) (
 			}()
 		}
 		for i := range in {
+			if ctx.Canceled() != nil {
+				break
+			}
 			work <- i
 		}
 		close(work)
 		wg.Wait()
+	}
+	if err := ctx.Canceled(); err != nil {
+		return nil, err
 	}
 	for _, err := range errs {
 		if err != nil {

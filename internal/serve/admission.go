@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOverloaded is returned when both the in-flight slots and the wait
+// queue are full; the HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("serve: overloaded, queue full")
+
+// Admission is the server's concurrency gate: at most maxInflight queries
+// execute at once, at most maxQueue more wait for a slot, and anything
+// beyond that is shed immediately. The split API (non-blocking Enter, then
+// blocking Await) lets the HTTP layer make the 429 decision synchronously
+// at submit time while asynchronous jobs wait for their slot in the
+// background.
+type Admission struct {
+	slots chan struct{}
+
+	mu       sync.Mutex
+	waiting  int
+	maxQueue int
+}
+
+// NewAdmission builds a gate with maxInflight execution slots (min 1) and
+// a wait queue of maxQueue (0 = no queueing; beyond-capacity queries shed).
+func NewAdmission(maxInflight, maxQueue int) *Admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{slots: make(chan struct{}, maxInflight), maxQueue: maxQueue}
+}
+
+// Ticket is one admitted query's reservation: holding a slot (admitted) or
+// a queue position. Tickets are not safe for concurrent use; exactly one
+// goroutine drives Await/Release.
+type Ticket struct {
+	a        *Admission
+	admitted bool
+	queued   bool
+	done     bool
+}
+
+// Enter reserves capacity without blocking: an execution slot when one is
+// free, else a queue position, else ErrOverloaded.
+func (a *Admission) Enter() (*Ticket, error) {
+	select {
+	case a.slots <- struct{}{}:
+		return &Ticket{a: a, admitted: true}, nil
+	default:
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.waiting >= a.maxQueue {
+		return nil, ErrOverloaded
+	}
+	a.waiting++
+	return &Ticket{a: a, queued: true}, nil
+}
+
+// Await blocks a queued ticket until an execution slot frees up or ctx is
+// canceled. Admitted tickets return immediately.
+func (t *Ticket) Await(ctx context.Context) error {
+	if t.admitted || t.done {
+		return nil
+	}
+	defer func() {
+		t.a.mu.Lock()
+		t.a.waiting--
+		t.a.mu.Unlock()
+		t.queued = false
+	}()
+	select {
+	case t.a.slots <- struct{}{}:
+		t.admitted = true
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: canceled while queued: %w", ctx.Err())
+	}
+}
+
+// Release returns the ticket's capacity. Idempotent.
+func (t *Ticket) Release() {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.queued {
+		t.a.mu.Lock()
+		t.a.waiting--
+		t.a.mu.Unlock()
+		t.queued = false
+	}
+	if t.admitted {
+		<-t.a.slots
+		t.admitted = false
+	}
+}
+
+// Running reports how many execution slots are occupied.
+func (a *Admission) Running() int { return len(a.slots) }
+
+// Queued reports how many queries are waiting for a slot.
+func (a *Admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+// MaxInflight returns the execution-slot capacity.
+func (a *Admission) MaxInflight() int { return cap(a.slots) }
+
+// MaxQueue returns the wait-queue capacity.
+func (a *Admission) MaxQueue() int { return a.maxQueue }

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsBeyondCapacity(t *testing.T) {
+	a := NewAdmission(2, 1)
+	t1, err := a.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := a.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := a.Enter() // queued
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Enter(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("fourth entry: %v, want ErrOverloaded", err)
+	}
+	if a.Running() != 2 || a.Queued() != 1 {
+		t.Errorf("occupancy %d/%d", a.Running(), a.Queued())
+	}
+
+	// Releasing a running ticket lets the queued one through.
+	done := make(chan error, 1)
+	go func() { done <- t3.Await(context.Background()) }()
+	t1.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if a.Running() != 2 || a.Queued() != 0 {
+		t.Errorf("after hand-off: %d/%d", a.Running(), a.Queued())
+	}
+	t2.Release()
+	t3.Release()
+	t3.Release() // idempotent
+	if a.Running() != 0 {
+		t.Errorf("running = %d after releases", a.Running())
+	}
+}
+
+func TestAdmissionAwaitCancel(t *testing.T) {
+	a := NewAdmission(1, 2)
+	hold, err := a.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := a.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- queued.Await(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("await = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Await did not return")
+	}
+	queued.Release()
+	if a.Queued() != 0 {
+		t.Errorf("queued = %d after canceled waiter", a.Queued())
+	}
+	hold.Release()
+	// Capacity fully restored.
+	again, err := a.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.admitted {
+		t.Error("slot not restored")
+	}
+	again.Release()
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/optimizer"
+)
+
+// PlanCache memoizes optimized physical plans across queries, keyed by the
+// canonical fingerprint of (logical plan, policy, optimizer options) from
+// optimizer.Fingerprint. A repeat query skips enumeration and selection
+// entirely and replays the cached plan — the serving-layer analogue of the
+// LLM response cache one level down. Bounded with LRU eviction; safe for
+// concurrent use.
+//
+// Cached *optimizer.Plan values are shared by concurrent executions; that
+// is sound because physical operators never mutate themselves during
+// Execute (calibration writes happen only inside the optimizer, before a
+// plan is published here).
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	hits     int
+	misses   int
+}
+
+type planEntry struct {
+	key        string
+	plan       *optimizer.Plan
+	candidates int
+}
+
+// NewPlanCache builds a cache bounded to capacity plans (min 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached plan and its original candidate count for a
+// fingerprint, recording a hit or miss.
+func (c *PlanCache) Get(fingerprint string) (*optimizer.Plan, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fingerprint]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	e := el.Value.(*planEntry)
+	return e.plan, e.candidates, true
+}
+
+// Put stores an optimized plan under its fingerprint, evicting the least
+// recently used entry at capacity.
+func (c *PlanCache) Put(fingerprint string, plan *optimizer.Plan, candidates int) {
+	if plan == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fingerprint]; ok {
+		e := el.Value.(*planEntry)
+		e.plan, e.candidates = plan, candidates
+		c.order.MoveToFront(el)
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*planEntry).key)
+		}
+	}
+	c.entries[fingerprint] = c.order.PushFront(&planEntry{
+		key: fingerprint, plan: plan, candidates: candidates,
+	})
+}
+
+// PlanCacheStats is a snapshot of cache effectiveness.
+type PlanCacheStats struct {
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// Stats reports hit/miss counts and occupancy.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries), Capacity: c.capacity}
+}

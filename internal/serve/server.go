@@ -1,0 +1,476 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/pz"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Context is the shared Palimpzest engine every query runs on. Its
+	// Parallelism, caching, and sampling settings apply to all tenants.
+	Context *pz.Context
+	// MaxInflight bounds concurrently executing queries (default 8).
+	MaxInflight int
+	// MaxQueue bounds queries waiting for an execution slot; beyond it the
+	// server sheds load with 429 (default 16).
+	MaxQueue int
+	// PlanCacheSize bounds the cross-query plan cache (default 128).
+	PlanCacheSize int
+	// DefaultBudgetUSD caps every tenant's cumulative simulated spend
+	// (0 = unlimited); TenantBudgets overrides per tenant.
+	DefaultBudgetUSD float64
+	TenantBudgets    map[string]float64
+	// OnJobStart, when set, runs after a job acquires its execution slot
+	// and before it executes — a test seam for holding jobs in flight.
+	// The context is the job's run context (canceled on abort).
+	OnJobStart func(ctx context.Context, job *Job)
+}
+
+// Job statuses.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// Job is one submitted query's lifecycle record.
+type Job struct {
+	mu     sync.Mutex
+	id     string
+	tenant string
+	status string
+	errMsg string
+	result *QueryResult
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Tenant returns the submitting tenant.
+func (j *Job) Tenant() string { return j.tenant }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Cancel aborts the job's run context (no-op once finished).
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Done is closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setRunning(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(status string, result *QueryResult, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.result = result
+	j.errMsg = errMsg
+	j.cancel = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// QueryResult is the wire form of a completed query.
+type QueryResult struct {
+	// Records is the deterministic JSON rendering of the output records
+	// (see RecordsJSON) — byte-identical to a direct Context.Execute of
+	// the same spec.
+	Records json.RawMessage `json:"records"`
+	// Count is len(Records).
+	Count int `json:"count"`
+	// Plan renders the chosen physical plan.
+	Plan string `json:"plan"`
+	// PlanCached reports whether optimization was skipped via the plan
+	// cache.
+	PlanCached bool `json:"plan_cached"`
+	// Candidates is how many plans the optimizer considered (the cached
+	// count on plan-cache hits).
+	Candidates int `json:"candidates"`
+	// Policy describes the selecting policy.
+	Policy string `json:"policy"`
+	// ElapsedSimMS is the simulated runtime in milliseconds.
+	ElapsedSimMS int64 `json:"elapsed_sim_ms"`
+	// CostUSD is the query's simulated LLM cost.
+	CostUSD float64 `json:"cost_usd"`
+}
+
+// JobView is the wire form of a job.
+type JobView struct {
+	ID     string       `json:"id"`
+	Tenant string       `json:"tenant"`
+	Status string       `json:"status"`
+	Error  string       `json:"error,omitempty"`
+	Result *QueryResult `json:"result,omitempty"`
+}
+
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{ID: j.id, Tenant: j.tenant, Status: j.status, Error: j.errMsg, Result: j.result}
+}
+
+// Server is the concurrent query-serving subsystem: admission control in
+// front of a scheduler that runs declarative pipeline specs over one
+// shared pz.Context, with a cross-query plan cache and per-tenant
+// accounting.
+type Server struct {
+	cfg      Config
+	pzctx    *pz.Context
+	adm      *Admission
+	plans    *PlanCache
+	tenants  *Accounting
+	counters *metrics.Counters
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
+
+	base     context.Context
+	shutdown context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// New builds a Server over a shared pz.Context.
+func New(cfg Config) (*Server, error) {
+	if cfg.Context == nil {
+		return nil, fmt.Errorf("serve: config needs a pz.Context")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 8
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 16
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = 128
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		pzctx:    cfg.Context,
+		adm:      NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		plans:    NewPlanCache(cfg.PlanCacheSize),
+		tenants:  NewAccounting(cfg.DefaultBudgetUSD, cfg.TenantBudgets),
+		counters: metrics.NewCounters(),
+		jobs:     map[string]*Job{},
+		base:     base,
+		shutdown: cancel,
+	}, nil
+}
+
+// Close cancels every running job and waits for them to settle.
+func (s *Server) Close() {
+	s.shutdown()
+	s.wg.Wait()
+}
+
+// PlanCache exposes plan-cache statistics (tests, metrics).
+func (s *Server) PlanCache() *PlanCache { return s.plans }
+
+// Counters exposes the serving counters (tests, metrics).
+func (s *Server) Counters() *metrics.Counters { return s.counters }
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/query            submit a pipeline spec (async; ?wait=1 blocks)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status and result
+//	POST /v1/jobs/{id}/cancel abort a job
+//	GET  /metrics             serving counters, caches, tenants
+//	GET  /healthz             liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// tenantOf resolves the requesting tenant from the X-PZ-Tenant header.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-PZ-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.counters.Inc("queries_total")
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse spec: %w", err))
+		return
+	}
+	// Validate the pipeline and policy before consuming any capacity.
+	ds, err := spec.Build(s.pzctx)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	policy, err := spec.ParsePolicy()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tenant := tenantOf(r)
+	if err := s.tenants.Admit(tenant); err != nil {
+		s.counters.Inc("rejected_budget")
+		writeError(w, http.StatusPaymentRequired, err)
+		return
+	}
+	ticket, err := s.adm.Enter()
+	if err != nil {
+		s.counters.Inc("rejected_overload")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	job := s.newJob(tenant)
+
+	if r.URL.Query().Get("wait") != "" {
+		// Synchronous: the client's connection drives cancellation.
+		s.runJob(r.Context(), job, ds, policy, ticket)
+		view := job.view()
+		code := http.StatusOK
+		if view.Status == StatusFailed {
+			code = http.StatusInternalServerError
+		}
+		writeJSON(w, code, view)
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.runJob(s.base, job, ds, policy, ticket)
+	}()
+	writeJSON(w, http.StatusAccepted, job.view())
+}
+
+func (s *Server) newJob(tenant string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	job := &Job{
+		id:     fmt.Sprintf("job-%06d", s.seq),
+		tenant: tenant,
+		status: StatusQueued,
+		done:   make(chan struct{}),
+	}
+	s.jobs[job.id] = job
+	return job
+}
+
+// runJob drives one admitted query to a terminal state: wait for an
+// execution slot, consult the plan cache, execute with cancellation, and
+// settle accounting. parent is the job's cancellation scope (the request
+// context for synchronous queries, the server's base context otherwise).
+func (s *Server) runJob(parent context.Context, job *Job, ds *pz.Dataset, policy pz.Policy, ticket *Ticket) {
+	defer ticket.Release()
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	if err := ticket.Await(ctx); err != nil {
+		s.counters.Inc("queries_canceled")
+		job.finish(StatusCanceled, nil, err.Error())
+		return
+	}
+	job.setRunning(cancel)
+	if s.cfg.OnJobStart != nil {
+		s.cfg.OnJobStart(ctx, job)
+	}
+
+	opts := s.pzctx.OptimizerOptions()
+	fp := optimizer.Fingerprint(ds.Chain(), policy, opts)
+	var res *pz.Result
+	var err error
+	plan, candidates, cached := s.plans.Get(fp)
+	if cached {
+		s.counters.Inc("plan_cache_hits")
+		res, err = s.pzctx.ExecutePlanContext(ctx, plan, policy.Describe())
+		if res != nil {
+			res.Candidates = candidates
+		}
+	} else {
+		s.counters.Inc("plan_cache_misses")
+		res, err = s.pzctx.ExecuteContext(ctx, ds, policy)
+		if err == nil {
+			s.plans.Put(fp, res.Plan, res.Candidates)
+		}
+	}
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.counters.Inc("queries_canceled")
+			job.finish(StatusCanceled, nil, err.Error())
+			return
+		}
+		s.counters.Inc("queries_failed")
+		job.finish(StatusFailed, nil, err.Error())
+		return
+	}
+	s.tenants.Charge(job.tenant, res.CostUSD)
+	records, err := RecordsJSON(res.Records)
+	if err != nil {
+		s.counters.Inc("queries_failed")
+		job.finish(StatusFailed, nil, err.Error())
+		return
+	}
+	s.counters.Inc("queries_done")
+	job.finish(StatusDone, &QueryResult{
+		Records:      records,
+		Count:        len(res.Records),
+		Plan:         res.Plan.String(),
+		PlanCached:   cached,
+		Candidates:   res.Candidates,
+		Policy:       policy.Describe(),
+		ElapsedSimMS: res.Elapsed.Milliseconds(),
+		CostUSD:      res.CostUSD,
+	}, "")
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	job := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", r.PathValue("id")))
+	}
+	return job
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if job := s.lookupJob(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.view())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupJob(w, r)
+	if job == nil {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.view())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.view())
+	}
+	s.mu.Unlock()
+	// Deterministic order: job IDs are zero-padded sequence numbers.
+	for i := 1; i < len(views); i++ {
+		for k := i; k > 0 && views[k-1].ID > views[k].ID; k-- {
+			views[k-1], views[k] = views[k], views[k-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	Counters  map[string]int64       `json:"counters"`
+	PlanCache PlanCacheStats         `json:"plan_cache"`
+	LLMCache  *LLMCacheStats         `json:"llm_cache,omitempty"`
+	Admission AdmissionStats         `json:"admission"`
+	Tenants   map[string]TenantUsage `json:"tenants"`
+	TotalCost float64                `json:"total_cost_usd"`
+}
+
+// LLMCacheStats mirrors llm.CacheStats for the wire.
+type LLMCacheStats struct {
+	Hits      int     `json:"hits"`
+	Misses    int     `json:"misses"`
+	Evictions int     `json:"evictions"`
+	SavedUSD  float64 `json:"saved_usd"`
+	Len       int     `json:"len"`
+	Capacity  int     `json:"capacity"`
+}
+
+// AdmissionStats is the gate's live occupancy.
+type AdmissionStats struct {
+	Running     int `json:"running"`
+	Queued      int `json:"queued"`
+	MaxInflight int `json:"max_inflight"`
+	MaxQueue    int `json:"max_queue"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := Metrics{
+		Counters:  s.counters.Snapshot(),
+		PlanCache: s.plans.Stats(),
+		Admission: AdmissionStats{
+			Running: s.adm.Running(), Queued: s.adm.Queued(),
+			MaxInflight: s.adm.MaxInflight(), MaxQueue: s.adm.MaxQueue(),
+		},
+		Tenants:   s.tenants.Snapshot(),
+		TotalCost: s.pzctx.TotalCost(),
+	}
+	if cache := s.pzctx.Executor().Cache(); cache != nil {
+		st := cache.Stats()
+		m.LLMCache = &LLMCacheStats{
+			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+			SavedUSD: st.SavedUSD, Len: st.Len, Capacity: st.Capacity,
+		}
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// RecordsJSON renders records deterministically: one JSON object per
+// record with the schema's fields as keys. encoding/json sorts map keys,
+// so equal record sets always render to identical bytes — the property
+// the serving acceptance test uses to compare against direct Execute.
+func RecordsJSON(recs []*pz.Record) (json.RawMessage, error) {
+	out := make([]map[string]string, len(recs))
+	for i, r := range recs {
+		m := make(map[string]string, len(r.Schema().Fields()))
+		for _, f := range r.Schema().Fields() {
+			m[f.Name] = r.GetString(f.Name)
+		}
+		out[i] = m
+	}
+	return json.Marshal(out)
+}

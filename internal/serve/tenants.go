@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExceeded rejects a tenant whose accumulated cost reached its
+// budget; the HTTP layer maps it to 402 Payment Required.
+type ErrBudgetExceeded struct {
+	Tenant    string
+	SpentUSD  float64
+	BudgetUSD float64
+}
+
+// Error implements error.
+func (e *ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("serve: tenant %q over budget ($%.4f spent of $%.4f)",
+		e.Tenant, e.SpentUSD, e.BudgetUSD)
+}
+
+// TenantUsage is one tenant's accounting snapshot.
+type TenantUsage struct {
+	// Requests counts admitted queries (whether or not they completed).
+	Requests int `json:"requests"`
+	// CostUSD is the accumulated simulated LLM cost of completed queries.
+	CostUSD float64 `json:"cost_usd"`
+	// Rejected counts budget rejections.
+	Rejected int `json:"rejected"`
+	// BudgetUSD is the tenant's cost ceiling (0 = unlimited).
+	BudgetUSD float64 `json:"budget_usd"`
+}
+
+// Accounting tracks per-tenant usage and enforces cost budgets. Safe for
+// concurrent use.
+type Accounting struct {
+	mu            sync.Mutex
+	defaultBudget float64
+	usage         map[string]*TenantUsage
+}
+
+// NewAccounting builds tenant accounting. defaultBudgetUSD caps every
+// tenant without an explicit budget (0 = unlimited); budgets overrides
+// per tenant.
+func NewAccounting(defaultBudgetUSD float64, budgets map[string]float64) *Accounting {
+	a := &Accounting{defaultBudget: defaultBudgetUSD, usage: map[string]*TenantUsage{}}
+	for tenant, b := range budgets {
+		a.tenant(tenant).BudgetUSD = b
+	}
+	return a
+}
+
+// tenant returns (creating) the named tenant's record. Callers hold no
+// lock; this takes it.
+func (a *Accounting) tenant(name string) *TenantUsage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tenantLocked(name)
+}
+
+func (a *Accounting) tenantLocked(name string) *TenantUsage {
+	u := a.usage[name]
+	if u == nil {
+		u = &TenantUsage{BudgetUSD: a.defaultBudget}
+		a.usage[name] = u
+	}
+	return u
+}
+
+// Admit checks the tenant's budget and, when allowed, counts the request.
+// A tenant at or over budget is rejected with *ErrBudgetExceeded.
+func (a *Accounting) Admit(tenant string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	u := a.tenantLocked(tenant)
+	if u.BudgetUSD > 0 && u.CostUSD >= u.BudgetUSD {
+		u.Rejected++
+		return &ErrBudgetExceeded{Tenant: tenant, SpentUSD: u.CostUSD, BudgetUSD: u.BudgetUSD}
+	}
+	u.Requests++
+	return nil
+}
+
+// Charge adds a completed query's cost to the tenant's tab.
+func (a *Accounting) Charge(tenant string, usd float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tenantLocked(tenant).CostUSD += usd
+}
+
+// Snapshot copies every tenant's usage, for the /metrics endpoint.
+func (a *Accounting) Snapshot() map[string]TenantUsage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]TenantUsage, len(a.usage))
+	for k, v := range a.usage {
+		out[k] = *v
+	}
+	return out
+}

@@ -24,9 +24,15 @@ var StreamPredicates = [3]string{
 	"epsilon zeta trial",
 }
 
-// StreamSource builds an in-memory source of n text records whose contents
-// satisfy StreamPredicates.
-func StreamSource(n int) (dataset.Source, error) {
+// StreamSourceName is the registry name of the streaming workload's
+// dataset (shared by StreamSource and serve-layer registrations so plan
+// fingerprints agree).
+const StreamSourceName = "stream-bench"
+
+// StreamRecords builds the n synthetic text records of the streaming
+// workload, for callers that register them themselves (e.g. a pz.Context
+// behind the serving layer). Every record satisfies StreamPredicates.
+func StreamRecords(n int) ([]*record.Record, *schema.Schema, error) {
 	recs := make([]*record.Record, 0, n)
 	for i := 0; i < n; i++ {
 		r, err := record.New(schema.TextFile, map[string]any{
@@ -34,11 +40,21 @@ func StreamSource(n int) (dataset.Source, error) {
 			"contents": fmt.Sprintf("doc %d alpha beta gamma delta epsilon zeta study cohort trial", i),
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		recs = append(recs, r)
 	}
-	return dataset.NewMemSource("stream-bench", schema.TextFile, recs)
+	return recs, schema.TextFile, nil
+}
+
+// StreamSource builds an in-memory source of n text records whose contents
+// satisfy StreamPredicates.
+func StreamSource(n int) (dataset.Source, error) {
+	recs, s, err := StreamRecords(n)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.NewMemSource(StreamSourceName, s, recs)
 }
 
 // StreamChain is the streaming-engine comparison workload: n records

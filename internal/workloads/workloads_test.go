@@ -1,0 +1,188 @@
+package workloads_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+	"repro/pz"
+)
+
+// TestStreamRecords: the synthetic records are well-formed and every one
+// satisfies every stream predicate, the invariant that keeps the pipeline
+// stages balanced.
+func TestStreamRecords(t *testing.T) {
+	const n = 12
+	recs, sc, err := workloads.StreamRecords(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	if sc == nil {
+		t.Fatal("nil schema")
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		name := r.GetString("filename")
+		if name == "" || seen[name] {
+			t.Fatalf("filename %q empty or duplicated", name)
+		}
+		seen[name] = true
+		contents := r.GetString("contents")
+		for _, pred := range workloads.StreamPredicates {
+			for _, word := range strings.Fields(pred) {
+				if !strings.Contains(contents, word) {
+					t.Fatalf("record %q misses predicate word %q", name, word)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamSourceAndChain: the source registers under the shared name and
+// the chain is scan + one filter per predicate.
+func TestStreamSourceAndChain(t *testing.T) {
+	src, err := workloads.StreamSource(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != workloads.StreamSourceName {
+		t.Errorf("source name %q, want %q", src.Name(), workloads.StreamSourceName)
+	}
+	chain, err := workloads.StreamChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1+len(workloads.StreamPredicates) {
+		t.Fatalf("chain length %d, want %d", len(chain), 1+len(workloads.StreamPredicates))
+	}
+}
+
+// TestStreamChainOptimizesUnderEveryPolicy: the workload admits a plan
+// under each policy the optimizer knows, pure and constrained alike.
+func TestStreamChainOptimizesUnderEveryPolicy(t *testing.T) {
+	chain, err := workloads.StreamChain(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []struct {
+		name  string
+		param float64
+	}{
+		{"max-quality", 0},
+		{"min-cost", 0},
+		{"min-time", 0},
+		{"quality-at-cost", 5},
+		{"quality-at-time", 600},
+		{"cost-at-quality", 0.5},
+		{"time-at-quality", 0.5},
+	}
+	for _, pc := range policies {
+		policy, err := optimizer.ParsePolicy(pc.name, pc.param)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.name, err)
+		}
+		plan, candidates, err := optimizer.New(optimizer.Options{Pruning: true}).Optimize(chain, policy, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.name, err)
+		}
+		if plan == nil || len(plan.Ops) == 0 {
+			t.Fatalf("%s: empty plan", pc.name)
+		}
+		if len(candidates) == 0 {
+			t.Fatalf("%s: no candidate plans", pc.name)
+		}
+	}
+	if phys, err := workloads.StreamPlan(6); err != nil || len(phys) == 0 {
+		t.Fatalf("StreamPlan: %d ops, err %v", len(phys), err)
+	}
+}
+
+// TestStreamSpecRoundTrip: the workload chain survives the serve-layer
+// wire encoding — chain -> Spec -> JSON -> Spec -> Dataset re-encodes to
+// the identical Spec and executes to byte-identical records.
+func TestStreamSpecRoundTrip(t *testing.T) {
+	const n = 8
+	chain, err := workloads.StreamChain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := serve.FromChain(chain, "min-cost", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Dataset.Name != workloads.StreamSourceName {
+		t.Fatalf("encoded dataset %q, want %q", spec.Dataset.Name, workloads.StreamSourceName)
+	}
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := serve.ParseSpec(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, err := pz.NewContext(pz.Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, sc, err := workloads.StreamRecords(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.RegisterRecords(workloads.StreamSourceName, sc, recs); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := decoded.Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reencoded, err := serve.FromChain(ds.Chain(), "min-cost", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, reencoded) {
+		t.Fatalf("spec round-trip drift:\nbefore: %+v\nafter:  %+v", spec, reencoded)
+	}
+
+	// The decoded pipeline and a hand-built builder pipeline execute to
+	// byte-identical output.
+	policy, err := decoded.ParsePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.Execute(ds, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ctx.Dataset(workloads.StreamSourceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range workloads.StreamPredicates {
+		ref = ref.Filter(p)
+	}
+	want, err := ctx.Execute(ref, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := serve.RecordsJSON(got.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := serve.RecordsJSON(want.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) == 0 || !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("decoded spec records differ from builder pipeline:\nspec:    %s\nbuilder: %s", gotJSON, wantJSON)
+	}
+}

@@ -29,6 +29,7 @@
 package pz
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -170,6 +171,9 @@ type Config struct {
 	Backoff time.Duration
 	// EnableCache memoizes LLM responses across Execute calls.
 	EnableCache bool
+	// CacheCapacity bounds the LLM response cache to that many entries
+	// (LRU eviction; 0 = unbounded). Only meaningful with EnableCache.
+	CacheCapacity int
 	// StreamBatchSize is the record batch size flowing between operator
 	// stages of the pipelined streaming engine, which runs whenever
 	// Parallelism > 1 (default 8; values below Parallelism are raised to
@@ -200,6 +204,7 @@ func NewContext(cfg Config) (*Context, error) {
 		Backoff:         cfg.Backoff,
 		FailureRate:     cfg.FailureRate,
 		EnableCache:     cfg.EnableCache,
+		CacheCapacity:   cfg.CacheCapacity,
 		StreamBatchSize: cfg.StreamBatchSize,
 		OnProgress:      cfg.OnProgress,
 	})
@@ -416,19 +421,58 @@ func (r *Result) Report(maxRecords int) string { return exec.Report(r.inner, max
 // Execute optimizes and runs the pipeline under the policy (paper Figure 6:
 // records, execution_stats = Execute(output, policy)).
 func (c *Context) Execute(d *Dataset, policy Policy) (*Result, error) {
+	return c.ExecuteContext(context.Background(), d, policy)
+}
+
+// ExecuteContext is Execute with cancellation: canceling ctx (a timeout, a
+// disconnected serving client) aborts optimization and execution between
+// records and returns the context error. A Context is safe for concurrent
+// ExecuteContext calls — each run accounts its own cost and elapsed time,
+// while UsageReport/TotalCost keep accumulating across all of them.
+func (c *Context) ExecuteContext(ctx context.Context, d *Dataset, policy Policy) (*Result, error) {
 	if d == nil {
 		return nil, fmt.Errorf("pz: nil dataset")
 	}
 	if d.err != nil {
 		return nil, d.err
 	}
-	res, err := c.executor.Execute(d.chain, policy, optimizer.Options{
+	res, err := c.executor.ExecuteContext(ctx, d.chain, policy, optimizer.Options{
 		Pruning:    c.cfg.Pruning,
 		SampleSize: c.cfg.SampleSize,
 	})
 	if err != nil {
 		return nil, err
 	}
+	return wrapResult(res), nil
+}
+
+// ExecutePlanContext runs an already-optimized physical plan, skipping
+// enumeration and selection — the fast path a serving layer takes on a
+// plan-cache hit. policyDesc labels the plan's policy in reports.
+func (c *Context) ExecutePlanContext(ctx context.Context, plan *Plan, policyDesc string) (*Result, error) {
+	res, err := c.executor.ExecutePlanContext(ctx, plan, policyDesc)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// OptimizerOptions is the optimizer configuration derived from a Context.
+type OptimizerOptions = optimizer.Options
+
+// OptimizerOptions returns the options ExecuteContext hands the optimizer,
+// with the engine choice resolved (Pipelined reflects Parallelism). The
+// serving layer fingerprints queries with these so cached plans are only
+// reused under identical optimization settings.
+func (c *Context) OptimizerOptions() OptimizerOptions {
+	return optimizer.Options{
+		Pruning:    c.cfg.Pruning,
+		SampleSize: c.cfg.SampleSize,
+		Pipelined:  c.cfg.Parallelism > 1,
+	}
+}
+
+func wrapResult(res *exec.Result) *Result {
 	return &Result{
 		Records:    res.Records,
 		Plan:       res.Plan,
@@ -437,7 +481,7 @@ func (c *Context) Execute(d *Dataset, policy Policy) (*Result, error) {
 		CostUSD:    res.CostUSD,
 		Stats:      res.Stats,
 		inner:      res,
-	}, nil
+	}
 }
 
 // OptimizeOnly runs the optimizer without executing; it returns the chosen
