@@ -1,0 +1,298 @@
+// Command pzcorpus generates, validates, and summarizes on-disk NDJSON
+// corpora — the corpus-at-scale tooling in front of internal/corpus.
+//
+// Usage:
+//
+//	pzcorpus generate -domain support -n 100000 -out corpus.ndjson
+//	                  [-rate 0.3] [-seed 17] [-size 50MB]
+//	pzcorpus validate corpus.ndjson
+//	pzcorpus stats    corpus.ndjson
+//	pzcorpus domains
+//
+// generate streams the chosen domain's generator straight to disk — for
+// the streaming-native domains (support, finance) memory stays constant
+// at any -n — and writes a manifest (seed, config, counts, SHA-256)
+// alongside. -size targets an approximate output size instead of a
+// document count (the tool probes a small sample to estimate bytes per
+// document). validate re-derives the manifest checksum and checks every
+// line's ground truth against the Truth contract (see internal/corpus);
+// it exits non-zero on any mismatch. stats prints the manifest plus a
+// fresh streaming pass over the file. domains lists the registry.
+//
+// Registered corpora plug into pipelines via pz.Context.RegisterNDJSON,
+// the {"dataset": {"name": ..., "file": ...}} spec field of pzrun and
+// pzserve, and docs/howto-corpus.md's walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/llm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = runGenerate(args, os.Stdout)
+	case "validate":
+		err = runValidate(args, os.Stdout)
+	case "stats":
+		err = runStats(args, os.Stdout)
+	case "domains":
+		err = runDomains(args, os.Stdout)
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "pzcorpus: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pzcorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `pzcorpus — generate, validate, and summarize NDJSON corpora
+
+commands:
+  generate -domain D -out F [-n N | -size S] [-rate R] [-seed N]
+  validate F        re-derive checksum, check every line's ground truth
+  stats    F        manifest + fresh streaming statistics
+  domains           list registered corpus domains
+`)
+}
+
+// runGenerate streams a domain generator to an NDJSON file + manifest.
+func runGenerate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	domain := fs.String("domain", "", "corpus domain (see `pzcorpus domains`; required)")
+	n := fs.Int("n", 0, "number of documents (0 = domain default)")
+	size := fs.String("size", "", "approximate output size (e.g. 50MB) instead of -n")
+	rate := fs.Float64("rate", -1, "positive-class fraction (negative = domain default)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output corpus path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *domain == "" || *out == "" {
+		return fmt.Errorf("generate: -domain and -out are required")
+	}
+	if *rate > 1 {
+		return fmt.Errorf("generate: -rate %v out of range (want a fraction in [0,1], or omit for the domain default)", *rate)
+	}
+	if *size != "" {
+		target, err := parseSize(*size)
+		if err != nil {
+			return err
+		}
+		nn, err := docsForSize(*domain, *rate, *seed, target)
+		if err != nil {
+			return err
+		}
+		*n = nn
+	}
+	g, err := corpus.NewGenerator(*domain, *n, *rate, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := struct {
+		NumDocs int     `json:"num_docs"`
+		Rate    float64 `json:"rate"`
+	}{NumDocs: g.Len(), Rate: *rate}
+	m, err := corpus.SaveNDJSON(*out, g, *seed, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d %s docs, %s, sha256 %s…\n",
+		*out, m.NumDocs, m.Domain, fmtBytes(m.Bytes), m.SHA256[:12])
+	printLabelCounts(stdout, m.LabelCounts, m.NumDocs)
+	return nil
+}
+
+// docsForSize estimates the document count that lands near targetBytes by
+// probing a small sample of the domain's output.
+func docsForSize(domain string, rate float64, seed int64, targetBytes int64) (int, error) {
+	const probe = 64
+	g, err := corpus.NewGenerator(domain, probe, rate, seed)
+	if err != nil {
+		return 0, err
+	}
+	m, err := corpus.WriteNDJSON(io.Discard, g)
+	if err != nil {
+		return 0, err
+	}
+	if m.NumDocs == 0 || m.Bytes == 0 {
+		return 0, fmt.Errorf("generate: domain %s produced no probe documents", domain)
+	}
+	n := int(targetBytes / (m.Bytes / int64(m.NumDocs)))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// runValidate checks a corpus against its manifest and the Truth contract.
+func runValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate: exactly one corpus path expected")
+	}
+	path := fs.Arg(0)
+	rep, err := corpus.ValidateNDJSON(path)
+	if err != nil {
+		return err
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(stdout, "note: %s\n", n)
+	}
+	if !rep.OK() {
+		for _, e := range rep.Errors {
+			fmt.Fprintf(stdout, "INVALID %s: %s\n", path, e)
+		}
+		return fmt.Errorf("validate: %s failed %d check(s)", path, len(rep.Errors))
+	}
+	fmt.Fprintf(stdout, "OK %s: %d docs, %s, sha256 %s…\n",
+		path, rep.Docs, fmtBytes(rep.Bytes), rep.SHA256[:12])
+	printLabelCounts(stdout, rep.LabelCounts, rep.Docs)
+	return nil
+}
+
+// runStats prints the manifest plus fresh streaming statistics.
+func runStats(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: exactly one corpus path expected")
+	}
+	path := fs.Arg(0)
+
+	if m, err := corpus.ReadManifest(path); err == nil {
+		fmt.Fprintf(stdout, "manifest: domain=%s docs=%d seed=%d sha256=%s…\n",
+			m.Domain, m.NumDocs, m.Seed, m.SHA256[:12])
+	} else if os.IsNotExist(err) {
+		fmt.Fprintln(stdout, "manifest: none")
+	} else {
+		return err
+	}
+
+	r, err := corpus.OpenNDJSON(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	docs, totalTokens, totalBytes := 0, 0, int64(0)
+	labels := map[string]int{}
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		docs++
+		totalTokens += llm.CountTokens(d.Text)
+		totalBytes += int64(len(d.Text))
+		if d.Truth != nil {
+			for l, v := range d.Truth.Labels {
+				if v {
+					labels[l]++
+				}
+			}
+		}
+	}
+	if docs == 0 {
+		return fmt.Errorf("stats: %s contains no documents", path)
+	}
+	fmt.Fprintf(stdout, "documents:  %d\n", docs)
+	fmt.Fprintf(stdout, "text bytes: %s (avg %s/doc)\n", fmtBytes(totalBytes), fmtBytes(totalBytes/int64(docs)))
+	fmt.Fprintf(stdout, "avg tokens: %.0f/doc\n", float64(totalTokens)/float64(docs))
+	printLabelCounts(stdout, labels, docs)
+	return nil
+}
+
+// runDomains lists the corpus domain registry.
+func runDomains(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("domains", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, d := range corpus.Domains() {
+		mode := "materializing"
+		if d.Streaming {
+			mode = "streaming"
+		}
+		fmt.Fprintf(stdout, "%-11s %-13s default n=%d rate=%.2f  %s\n",
+			d.Name, "("+mode+")", d.DefaultDocs, d.DefaultRate, d.Description)
+	}
+	return nil
+}
+
+func printLabelCounts(w io.Writer, labels map[string]int, docs int) {
+	if len(labels) == 0 || docs == 0 {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "label %s: %d/%d (%.0f%%)\n", k, labels[k], docs, 100*float64(labels[k])/float64(docs))
+	}
+}
+
+// parseSize parses "500000", "50KB", "50MB", "1GB" into bytes.
+func parseSize(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "GB"):
+		mult, t = 1<<30, strings.TrimSuffix(t, "GB")
+	case strings.HasSuffix(t, "MB"):
+		mult, t = 1<<20, strings.TrimSuffix(t, "MB")
+	case strings.HasSuffix(t, "KB"):
+		mult, t = 1<<10, strings.TrimSuffix(t, "KB")
+	case strings.HasSuffix(t, "B"):
+		t = strings.TrimSuffix(t, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 50MB)", s)
+	}
+	return n * mult, nil
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

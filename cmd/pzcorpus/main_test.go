@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateValidateStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "support.ndjson")
+	var out bytes.Buffer
+	err := runGenerate([]string{"-domain", "support", "-n", "500", "-seed", "3", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "500 support docs") {
+		t.Errorf("generate output: %q", out.String())
+	}
+	if _, err := os.Stat(path + ".manifest.json"); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+
+	out.Reset()
+	if err := runValidate([]string{path}, &out); err != nil {
+		t.Fatalf("validate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK ") {
+		t.Errorf("validate output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := runStats([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"domain=support", "documents:  500", "label urgent: 150/500"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestValidateFailsOnTamperedCorpus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ndjson")
+	var out bytes.Buffer
+	if err := runGenerate([]string{"-domain", "finance", "-n", "50", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bytes.Replace(data, []byte("revenue"), []byte("REVENUE"), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runValidate([]string{path}, &out); err == nil {
+		t.Fatalf("tampered corpus validated:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "INVALID") {
+		t.Errorf("validate output: %q", out.String())
+	}
+}
+
+func TestGenerateBySize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sized.ndjson")
+	var out bytes.Buffer
+	if err := runGenerate([]string{"-domain", "support", "-size", "300KB", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The probe-based estimate should land within a factor of two.
+	if st.Size() < 150<<10 || st.Size() > 600<<10 {
+		t.Errorf("-size 300KB produced %d bytes", st.Size())
+	}
+	if err := runValidate([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainsListsRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if err := runDomains(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"biomed", "legal", "realestate", "support", "finance", "streaming"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("domains output missing %q", want)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"1024":  1024,
+		"300KB": 300 << 10,
+		"50MB":  50 << 20,
+		"1GB":   1 << 30,
+		"2B":    2,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5MB", "0"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	pzserve -addr :8077 -dataset papers=./pdfs [-dataset more=./docs]
+//	pzserve -addr :8077 -dataset papers=./pdfs [-dataset tickets=./corpus.ndjson]
 //	        [-parallelism 4] [-batch 0] [-sample 0]
 //	        [-max-inflight 8] [-max-queue 16] [-plan-cache 128]
 //	        [-llm-cache=true] [-llm-cache-capacity 4096]
@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -55,12 +56,12 @@ func main() {
 	budget := flag.Float64("budget", 0, "default per-tenant cost budget in USD (0 = unlimited)")
 
 	datasets := map[string]string{}
-	flag.Func("dataset", "name=dir dataset registration (repeatable)", func(v string) error {
-		name, dir, ok := strings.Cut(v, "=")
-		if !ok || name == "" || dir == "" {
-			return fmt.Errorf("want name=dir, got %q", v)
+	flag.Func("dataset", "name=path dataset registration: a folder, or an .ndjson corpus file (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
 		}
-		datasets[name] = dir
+		datasets[name] = path
 		return nil
 	})
 	budgets := map[string]float64{}
@@ -107,11 +108,24 @@ func run(addr string, datasets map[string]string, budgets map[string]float64, op
 	if err != nil {
 		return err
 	}
-	for name, dir := range datasets {
-		if _, err := ctx.RegisterDir(name, dir); err != nil {
-			return err
+	for name, path := range datasets {
+		st, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", name, err)
 		}
-		log.Printf("pzserve: registered dataset %q from %s", name, dir)
+		switch {
+		case st.IsDir():
+			if _, err := ctx.RegisterDir(name, path); err != nil {
+				return err
+			}
+		case strings.EqualFold(filepath.Ext(path), ".ndjson"):
+			if _, err := ctx.RegisterNDJSON(name, path); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dataset %q: %s is neither a directory nor an .ndjson corpus", name, path)
+		}
+		log.Printf("pzserve: registered dataset %q from %s", name, path)
 	}
 	srv, err := serve.New(serve.Config{
 		Context:          ctx,

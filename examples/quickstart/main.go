@@ -1,10 +1,18 @@
 // Quickstart: the smallest useful Palimpzest pipeline.
 //
-// It generates the paper's demo corpus (11 synthetic biomedical papers),
-// registers it as a dataset, filters with a natural-language predicate,
-// extracts structured records with a dynamically-derived schema, and
-// executes under the max-quality policy — the programmatic equivalent of
-// the paper's Figure 6.
+// It generates the paper's demo corpus (11 synthetic biomedical papers —
+// the smallest of the five ground-truthed domains; see the README's
+// scenario table), registers it as a dataset, filters with a
+// natural-language predicate, extracts structured records with a
+// dynamically-derived schema, and executes under the max-quality policy —
+// the programmatic equivalent of the paper's Figure 6.
+//
+// The other scenario programs under examples/ scale this pattern up:
+// legal-discovery and realestate drive the chat and directory-ingestion
+// paths, and support-triage and financial-filings run over on-disk
+// NDJSON corpora registered without loading (generate your own at any
+// size with `go run ./cmd/pzcorpus generate`; docs/howto-corpus.md has
+// the walkthrough).
 //
 //	go run ./examples/quickstart
 package main
@@ -23,7 +31,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Register the demo corpus (in a real deployment: ctx.RegisterDir).
+	// Register the demo corpus in memory. Real deployments register a
+	// folder (ctx.RegisterDir) or an NDJSON corpus file streamed from
+	// disk (ctx.RegisterNDJSON).
 	docs := corpus.GenerateBiomed(corpus.PaperDemoBiomed())
 	if _, err := ctx.RegisterDocs("sigmod-demo", pz.PDFFile, docs); err != nil {
 		log.Fatal(err)

@@ -1,14 +1,35 @@
 // Package corpus generates the synthetic, ground-truthed document
-// collections that stand in for the paper's demo datasets: biomedical
-// papers (the §3 scientific-discovery scenario), legal contracts (legal
-// discovery), and real-estate listings (real-estate search).
+// collections behind every workload in this repro. Five domains are
+// registered (see Domains): biomedical papers (the §3 scientific-discovery
+// scenario), legal contracts (legal discovery), real-estate listings
+// (real-estate search), customer-support tickets (triage/routing), and
+// financial filings (numeric extraction).
 //
-// Every generated record carries hidden ground-truth annotations (topic
-// labels, extractable entity mentions, scalar fields). The simulated LLM in
-// internal/llm reads these through its oracle to decide answers, and the
-// metrics package scores pipeline outputs against them. Generation is fully
-// deterministic given a seed, so experiments and golden tests are
-// reproducible.
+// Every generated document carries a hidden Truth annotation (topic
+// labels, extractable entity mentions, scalar fields, numbers). The
+// simulated LLM in internal/llm reads it through its oracle to decide
+// answers, and the metrics package scores pipeline outputs against it.
+//
+// Determinism guarantees: generation is a pure function of the domain
+// config, whose Seed fixes every random choice — same config, same corpus,
+// byte for byte, on any platform. Each domain offers two equivalent APIs:
+// a slice API (GenerateBiomed, GenerateSupport, ...) that materializes the
+// corpus, and a streaming API (Generator, NewSupportGenerator, ...) that
+// yields documents one at a time; for a given config the two produce
+// identical document sequences. The support and finance generators are
+// index-addressable — document i depends only on (seed, i) — so streaming
+// them runs in constant memory at any corpus size. Corpora can be spilled
+// to disk in the NDJSON format (one Doc per line plus a checksummed
+// manifest; see WriteNDJSON) and registered file-backed through
+// internal/dataset without loading them whole.
+//
+// The Truth contract: a Doc's Truth must be answerable from its Text —
+// every Fields value, Mention field value, and Numbers rendering appears
+// in the text, and boolean Labels agree with what the text states — so
+// the oracle's gold answers are always ones a perfect real model could
+// also produce. ValidateDoc (plus per-domain checks via
+// Domain.Validate) enforces this; `pzcorpus validate` applies it to
+// on-disk corpora.
 package corpus
 
 import (
@@ -18,26 +39,28 @@ import (
 )
 
 // Truth is the hidden ground-truth annotation attached to a generated
-// document. It is stored on records under the "gt" truth key.
+// document. It is stored on records under the "gt" truth key. The JSON
+// tags define its on-disk shape in both the NDJSON corpus format and the
+// directory ground-truth sidecar.
 type Truth struct {
 	// Topics are the subjects this document is genuinely about, e.g.
 	// ["colorectal cancer", "gene mutation"].
-	Topics []string
+	Topics []string `json:"topics,omitempty"`
 	// Mentions are extractable entities embedded in the text, e.g. public
 	// dataset references. Kind discriminates entity families.
-	Mentions []Mention
+	Mentions []Mention `json:"mentions,omitempty"`
 	// Labels are named boolean properties ("indemnification": true).
-	Labels map[string]bool
+	Labels map[string]bool `json:"labels,omitempty"`
 	// Fields are scalar extractable string attributes ("party_a": "...").
-	Fields map[string]string
+	Fields map[string]string `json:"fields,omitempty"`
 	// Numbers are numeric attributes ("price": 650000).
-	Numbers map[string]float64
+	Numbers map[string]float64 `json:"numbers,omitempty"`
 }
 
 // Mention is one extractable entity with named attributes.
 type Mention struct {
-	Kind   string
-	Fields map[string]string
+	Kind   string            `json:"kind"`
+	Fields map[string]string `json:"fields"`
 }
 
 // TruthKey is the record truth-annotation key under which a *Truth is
@@ -45,11 +68,12 @@ type Mention struct {
 const TruthKey = "gt"
 
 // Doc is one generated document before it is wrapped in a record: a
-// filename, full text, and its ground truth.
+// filename, full text, and its ground truth. A Doc is also one line of
+// the NDJSON corpus format (see WriteNDJSON), which the JSON tags define.
 type Doc struct {
-	Filename string
-	Text     string
-	Truth    *Truth
+	Filename string `json:"filename"`
+	Text     string `json:"text"`
+	Truth    *Truth `json:"truth"`
 }
 
 // HasTopic reports whether the document is about a topic whose name shares
@@ -127,13 +151,21 @@ func slugify(s string) string {
 
 // fmtUSD renders a dollar amount with thousands separators.
 func fmtUSD(v float64) string {
-	n := int64(v)
+	return "$" + groupDigits(int64(v))
+}
+
+// groupDigits renders n with thousands separators ("650,000").
+func groupDigits(n int64) string {
 	s := fmt.Sprintf("%d", n)
+	neg := ""
+	if strings.HasPrefix(s, "-") {
+		neg, s = "-", s[1:]
+	}
 	var parts []string
 	for len(s) > 3 {
 		parts = append([]string{s[len(s)-3:]}, parts...)
 		s = s[:len(s)-3]
 	}
 	parts = append([]string{s}, parts...)
-	return "$" + strings.Join(parts, ",")
+	return neg + strings.Join(parts, ",")
 }

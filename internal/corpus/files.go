@@ -42,18 +42,30 @@ func WriteFiles(dir string, docs []*Doc) ([]string, error) {
 func Records(docs []*Doc, s *schema.Schema, sourceName string) ([]*record.Record, error) {
 	out := make([]*record.Record, 0, len(docs))
 	for _, d := range docs {
-		r, err := record.New(s, map[string]any{
-			"filename": d.Filename,
-			"contents": d.Text,
-		})
+		r, err := DocRecord(d, s, sourceName)
 		if err != nil {
-			return nil, fmt.Errorf("corpus: %w", err)
+			return nil, err
 		}
-		r.SetSource(sourceName)
-		r.SetTruth(TruthKey, d.Truth)
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// DocRecord wraps one document into a record of the given schema (which
+// must have "filename" and "contents" string fields), carrying the
+// document's ground truth under TruthKey — the per-document unit behind
+// Records, used by streaming sources that never hold a whole corpus.
+func DocRecord(d *Doc, s *schema.Schema, sourceName string) (*record.Record, error) {
+	r, err := record.New(s, map[string]any{
+		"filename": d.Filename,
+		"contents": d.Text,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	r.SetSource(sourceName)
+	r.SetTruth(TruthKey, d.Truth)
+	return r, nil
 }
 
 // TruthOf retrieves the ground truth attached to a record (nil when the

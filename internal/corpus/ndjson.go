@@ -1,0 +1,252 @@
+package corpus
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The NDJSON corpus format: one JSON-encoded Doc per line (filename, full
+// text, embedded Truth), written in generator order, plus a manifest JSON
+// file alongside (corpus path + ManifestSuffix) recording how the corpus
+// was produced and a SHA-256 checksum of the NDJSON bytes. The format is
+// append-only and line-delimited, so writers stream with constant memory
+// and readers never need the whole file: internal/dataset registers these
+// files as lazily-iterated sources, and cmd/pzcorpus generates, validates,
+// and summarizes them.
+
+// ManifestSuffix is appended to a corpus path to name its manifest file:
+// "corpus.ndjson" → "corpus.ndjson.manifest.json".
+const ManifestSuffix = ".manifest.json"
+
+// NDJSONFormatVersion is the current on-disk format version, recorded in
+// every manifest.
+const NDJSONFormatVersion = 1
+
+// Manifest describes one on-disk NDJSON corpus: provenance (domain, seed,
+// config), counts, and the checksum `pzcorpus validate` re-derives.
+type Manifest struct {
+	// FormatVersion is the NDJSON corpus format version.
+	FormatVersion int `json:"format_version"`
+	// Domain is the generating domain name ("" for hand-made corpora).
+	Domain string `json:"domain,omitempty"`
+	// NumDocs is the number of document lines in the corpus file.
+	NumDocs int `json:"num_docs"`
+	// Seed is the generator seed the corpus was produced with.
+	Seed int64 `json:"seed,omitempty"`
+	// Config is the generator config, verbatim, for reproduction.
+	Config json.RawMessage `json:"config,omitempty"`
+	// SHA256 is the hex checksum of the corpus file's bytes.
+	SHA256 string `json:"sha256"`
+	// Bytes is the corpus file's size.
+	Bytes int64 `json:"bytes"`
+	// LabelCounts counts documents whose Truth sets each label true —
+	// the corpus's class balance at a glance.
+	LabelCounts map[string]int `json:"label_counts,omitempty"`
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteNDJSON drains g to w as NDJSON and returns the manifest describing
+// what was written (checksum, byte count, label counts). Memory is one
+// document plus the generator's own footprint, so an index-addressable
+// generator spills any corpus size with constant memory.
+func WriteNDJSON(w io.Writer, g Generator) (*Manifest, error) {
+	h := sha256.New()
+	cw := &countingWriter{w: io.MultiWriter(w, h)}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+
+	m := &Manifest{
+		FormatVersion: NDJSONFormatVersion,
+		Domain:        g.Domain(),
+		LabelCounts:   map[string]int{},
+	}
+	for {
+		d, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("corpus: generate doc %d: %w", m.NumDocs, err)
+		}
+		if err := enc.Encode(d); err != nil {
+			return nil, fmt.Errorf("corpus: encode doc %d: %w", m.NumDocs, err)
+		}
+		m.NumDocs++
+		if d.Truth != nil {
+			for label, v := range d.Truth.Labels {
+				if v {
+					m.LabelCounts[label]++
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	m.Bytes = cw.n
+	m.SHA256 = hex.EncodeToString(h.Sum(nil))
+	return m, nil
+}
+
+// SaveNDJSON writes g's corpus to path and the manifest next to it. seed
+// and config document provenance (config may be nil; it is stored
+// verbatim as JSON). Returns the written manifest.
+func SaveNDJSON(path string, g Generator, seed int64, config any) (*Manifest, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	m, err := WriteNDJSON(f, g)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.Seed = seed
+	if config != nil {
+		raw, err := json.Marshal(config)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: marshal config: %w", err)
+		}
+		m.Config = raw
+	}
+	if err := WriteManifest(path, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteManifest stores m next to the corpus at path.
+func WriteManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return os.WriteFile(path+ManifestSuffix, append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads the manifest of the corpus at path. os.IsNotExist
+// holds on the returned error when the corpus has no manifest.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path + ManifestSuffix)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("corpus: bad manifest for %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// maxNDJSONLine bounds one corpus line (a full document plus JSON
+// escaping); generated documents top out around 32 KB.
+const maxNDJSONLine = 8 << 20
+
+// DocReader streams documents from an NDJSON corpus file one line at a
+// time. It implements Generator, so a file-backed corpus flows through
+// the same API as a synthetic one (Collect, WriteNDJSON, validation).
+// Close it when done; Next returns io.EOF at end of file.
+type DocReader struct {
+	domain string
+	n      int
+	f      *os.File
+	sc     *bufio.Scanner
+	line   int
+}
+
+// OpenNDJSON opens the corpus at path. Domain and document count come
+// from the manifest when present; a manifest-less file is counted with
+// one streaming pre-pass so Len stays exact.
+func OpenNDJSON(path string) (*DocReader, error) {
+	r := &DocReader{}
+	m, err := ReadManifest(path)
+	switch {
+	case err == nil:
+		r.domain, r.n = m.Domain, m.NumDocs
+	case os.IsNotExist(err):
+		n, cerr := countLines(path)
+		if cerr != nil {
+			return nil, cerr
+		}
+		r.n = n
+	default:
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	r.f = f
+	r.sc = newLineScanner(f)
+	return r, nil
+}
+
+func newLineScanner(rd io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64<<10), maxNDJSONLine)
+	return sc
+}
+
+func countLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	sc := newLineScanner(f)
+	n := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// Domain implements Generator (empty for manifest-less corpora).
+func (r *DocReader) Domain() string { return r.domain }
+
+// Len implements Generator.
+func (r *DocReader) Len() int { return r.n }
+
+// Next implements Generator: it decodes the next non-empty line.
+func (r *DocReader) Next() (*Doc, error) {
+	for r.sc.Scan() {
+		r.line++
+		raw := r.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var d Doc
+		if err := json.Unmarshal(raw, &d); err != nil {
+			return nil, fmt.Errorf("corpus: %s line %d: %w", r.f.Name(), r.line, err)
+		}
+		return &d, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", r.f.Name(), err)
+	}
+	return nil, io.EOF
+}
+
+// Close releases the underlying file.
+func (r *DocReader) Close() error { return r.f.Close() }

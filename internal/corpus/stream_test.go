@@ -1,0 +1,261 @@
+package corpus
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// drain collects a generator, failing the test on any error.
+func drain(t *testing.T, g Generator) []*Doc {
+	t.Helper()
+	docs, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docs
+}
+
+// sameDocs asserts two corpora are byte-identical (filenames and text)
+// and carry equally-shaped truth.
+func sameDocs(t *testing.T, a, b []*Doc) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Filename != b[i].Filename {
+			t.Fatalf("doc %d filename %q vs %q", i, a[i].Filename, b[i].Filename)
+		}
+		if a[i].Text != b[i].Text {
+			t.Fatalf("doc %d text differs", i)
+		}
+	}
+}
+
+func TestStreamEqualsSliceEveryDomain(t *testing.T) {
+	cases := []struct {
+		name   string
+		slice  []*Doc
+		stream Generator
+	}{
+		{DomainBiomed, GenerateBiomed(PaperDemoBiomed()), NewBiomedGenerator(PaperDemoBiomed())},
+		{DomainLegal, GenerateLegal(DefaultLegal()), NewLegalGenerator(DefaultLegal())},
+		{DomainRealEstate, GenerateRealEstate(DefaultRealEstate()), NewRealEstateGenerator(DefaultRealEstate())},
+		{DomainSupport, GenerateSupport(DefaultSupport()), NewSupportGenerator(DefaultSupport())},
+		{DomainFinance, GenerateFinance(DefaultFinance()), NewFinanceGenerator(DefaultFinance())},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.stream.Domain() != c.name {
+				t.Errorf("Domain() = %q, want %q", c.stream.Domain(), c.name)
+			}
+			if c.stream.Len() != len(c.slice) {
+				t.Errorf("Len() = %d, want %d", c.stream.Len(), len(c.slice))
+			}
+			sameDocs(t, c.slice, drain(t, c.stream))
+		})
+	}
+}
+
+func TestRegistryGeneratorsDeterministic(t *testing.T) {
+	for _, d := range Domains() {
+		t.Run(d.Name, func(t *testing.T) {
+			a := drain(t, d.New(60, -1, 5))
+			b := drain(t, d.New(60, -1, 5))
+			sameDocs(t, a, b)
+			diff := drain(t, d.New(60, -1, 6))
+			same := true
+			for i := range a {
+				if a[i].Text != diff[i].Text {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Error("different seeds produced identical corpora")
+			}
+		})
+	}
+}
+
+func TestGeneratorExhaustion(t *testing.T) {
+	g := NewSupportGenerator(SupportConfig{NumTickets: 2, UrgentRate: 0.5, Seed: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := g.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Next(); err != io.EOF {
+		t.Fatalf("after exhaustion Next() err = %v, want io.EOF", err)
+	}
+	if _, err := g.Next(); err != io.EOF {
+		t.Fatal("Next() after EOF must keep returning io.EOF")
+	}
+}
+
+func TestSupportShape(t *testing.T) {
+	cfg := DefaultSupport()
+	docs := GenerateSupport(cfg)
+	if len(docs) != 200 {
+		t.Fatalf("tickets = %d, want 200", len(docs))
+	}
+	urgent := 0
+	seen := map[string]bool{}
+	for _, d := range docs {
+		if seen[d.Filename] {
+			t.Fatalf("duplicate filename %s", d.Filename)
+		}
+		seen[d.Filename] = true
+		if err := ValidateDoc(d); err != nil {
+			t.Fatalf("generic contract: %v", err)
+		}
+		if err := validateSupportDoc(d); err != nil {
+			t.Fatalf("domain contract: %v", err)
+		}
+		if d.Truth.Labels[UrgentLabel] {
+			urgent++
+		}
+	}
+	if want := 60; urgent != want {
+		t.Errorf("urgent tickets = %d, want %d (200 * 0.3)", urgent, want)
+	}
+}
+
+func TestSupportPrefixIndependence(t *testing.T) {
+	// Index-addressable generation: the first 10 documents of a 10-ticket
+	// stream and of a 10000-ticket stream share per-document RNG state,
+	// so content must agree wherever the urgency class also agrees — and
+	// a short prefix of the big corpus must cost nothing more to produce.
+	cfg := DefaultSupport()
+	cfg.NumTickets = 10000
+	g := NewSupportGenerator(cfg)
+	for i := 0; i < 10; i++ {
+		d, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Truth.Fields["ticket_id"] == "" {
+			t.Fatalf("doc %d missing ticket id", i)
+		}
+	}
+}
+
+func TestFinanceShape(t *testing.T) {
+	cfg := DefaultFinance()
+	docs := GenerateFinance(cfg)
+	if len(docs) != 150 {
+		t.Fatalf("filings = %d, want 150", len(docs))
+	}
+	profitable := 0
+	for _, d := range docs {
+		if err := ValidateDoc(d); err != nil {
+			t.Fatalf("generic contract: %v", err)
+		}
+		if err := validateFinanceDoc(d); err != nil {
+			t.Fatalf("domain contract: %v", err)
+		}
+		if d.Truth.Labels[ProfitableLabel] {
+			profitable++
+			if !strings.Contains(d.Text, "Net income for the year") {
+				t.Errorf("%s: profitable filing lacks net-income sentence", d.Filename)
+			}
+		} else if !strings.Contains(d.Text, "net loss") {
+			t.Errorf("%s: unprofitable filing lacks net-loss sentence", d.Filename)
+		}
+	}
+	if want := 90; profitable != want {
+		t.Errorf("profitable filings = %d, want %d (150 * 0.6)", profitable, want)
+	}
+}
+
+func TestScatterExactCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 1000} {
+		for _, k := range []int{0, 1, n / 3, n} {
+			sc := newScatter(42, n)
+			got := 0
+			seen := map[int]bool{}
+			for i := 0; i < n; i++ {
+				p := sc.pos(i)
+				if p < 0 || p >= n {
+					t.Fatalf("n=%d: pos(%d) = %d out of range", n, i, p)
+				}
+				if seen[p] {
+					t.Fatalf("n=%d: pos collision at %d", n, p)
+				}
+				seen[p] = true
+				if p < k {
+					got++
+				}
+			}
+			if got != k {
+				t.Fatalf("n=%d k=%d: marked %d positives", n, k, got)
+			}
+		}
+	}
+}
+
+func TestValidateDocCatchesViolations(t *testing.T) {
+	ok := GenerateSupport(SupportConfig{NumTickets: 1, UrgentRate: 0, Seed: 3})[0]
+	if err := ValidateDoc(ok); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	cases := map[string]func(d *Doc){
+		"empty filename":    func(d *Doc) { d.Filename = "" },
+		"empty text":        func(d *Doc) { d.Text = "  " },
+		"nil truth":         func(d *Doc) { d.Truth = nil },
+		"field not in text": func(d *Doc) { d.Truth.Fields["product"] = "Nonexistent Product" },
+		"number not in text": func(d *Doc) {
+			d.Truth.Numbers["response_hours"] = 123456789
+		},
+		"mention not in text": func(d *Doc) {
+			d.Truth.Mentions = []Mention{{Kind: "x", Fields: map[string]string{"name": "absent-entity"}}}
+		},
+	}
+	for name, corrupt := range cases {
+		d := GenerateSupport(SupportConfig{NumTickets: 1, UrgentRate: 0, Seed: 3})[0]
+		corrupt(d)
+		if err := ValidateDoc(d); err == nil {
+			t.Errorf("%s: corruption not caught", name)
+		}
+	}
+}
+
+func TestNewGeneratorRegistry(t *testing.T) {
+	if _, err := NewGenerator("no-such-domain", 10, -1, 1); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	g, err := NewGenerator(DomainFinance, 0, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 150 {
+		t.Errorf("default docs = %d, want the finance default 150", g.Len())
+	}
+	g, err = NewGenerator(DomainSupport, 50, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urgent := 0
+	for _, d := range drain(t, g) {
+		if d.Truth.Labels[UrgentLabel] {
+			urgent++
+		}
+	}
+	if urgent != 25 {
+		t.Errorf("rate override: urgent = %d, want 25", urgent)
+	}
+}
+
+func TestLegacyDomainsPassValidation(t *testing.T) {
+	for _, d := range []Domain{domains[DomainBiomed], domains[DomainLegal], domains[DomainRealEstate]} {
+		for _, doc := range drain(t, d.New(30, -1, 11)) {
+			if err := ValidateDoc(doc); err != nil {
+				t.Errorf("%s: %v", d.Name, err)
+			}
+			if err := d.Validate(doc); err != nil {
+				t.Errorf("%s: %v", d.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// ErrStop is the sentinel a RecordIterator yield function returns to end
+// iteration early without error; IterateRecords swallows it and returns
+// nil.
+var ErrStop = errors.New("dataset: stop iteration")
+
+// RecordIterator is an optional Source capability: sources that can yield
+// records incrementally, without materializing the whole dataset. The
+// pipelined executor streams such sources from disk batch by batch, and
+// the optimizer samples them without a full load.
+type RecordIterator interface {
+	// IterateRecords calls yield for every record in dataset order. A
+	// non-nil error from yield stops iteration and is returned, except
+	// ErrStop, which stops iteration and returns nil.
+	IterateRecords(yield func(*record.Record) error) error
+}
+
+// SourceStats summarizes a dataset for the optimizer's cost model.
+type SourceStats struct {
+	// NumRecords is the dataset's exact cardinality.
+	NumRecords int
+	// AvgTokens is the mean per-record text size in LLM tokens,
+	// estimated from a prefix sample.
+	AvgTokens float64
+}
+
+// Stater is an optional Source capability: sources that know their
+// cardinality and record size without materializing records (e.g. from a
+// corpus manifest). The optimizer seeds its cost model from Stats instead
+// of calling Records when the capability is available.
+type Stater interface {
+	// Stats returns the summary and whether it is trustworthy; ok=false
+	// sends callers down the materializing path.
+	Stats() (SourceStats, bool)
+}
+
+// statsSampleDocs is how many leading documents Stats-capable sources
+// read to estimate AvgTokens (matches the optimizer's own prefix sample).
+const statsSampleDocs = 16
+
+// NDJSONSource is a file-backed dataset over an on-disk NDJSON corpus
+// (see internal/corpus: one JSON document + embedded ground truth per
+// line, manifest alongside). Records yields everything for the sequential
+// engine, but the source's point is the streaming capabilities: it
+// implements RecordIterator, so the pipelined executor reads the file
+// batch by batch in constant memory, and Stater, so the optimizer costs a
+// pipeline without loading the corpus at all.
+type NDJSONSource struct {
+	name   string
+	path   string
+	schema *schema.Schema
+	stats  SourceStats
+}
+
+// NewNDJSONSource opens the corpus at path and prepares a source. The
+// record schema is chosen from the first document's filename extension
+// (".pdf" → PDFFile, ".txt" → TextFile, ...); cardinality comes from the
+// manifest when present and a line count otherwise, and the average
+// record size is estimated from the first documents.
+func NewNDJSONSource(name, path string) (*NDJSONSource, error) {
+	r, err := corpus.OpenNDJSON(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer r.Close()
+	src := &NDJSONSource{name: name, path: path, stats: SourceStats{NumRecords: r.Len()}}
+	totalTokens, sampled := 0, 0
+	for sampled < statsSampleDocs {
+		d, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// Surface corruption at registration, with its line number,
+			// rather than later from an executing pipeline.
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		if src.schema == nil {
+			s, ok := schema.ForExtension(filepath.Ext(d.Filename))
+			if !ok {
+				s = schema.TextFile
+			}
+			src.schema = s
+		}
+		totalTokens += llm.CountTokens(d.Text)
+		sampled++
+	}
+	if src.schema == nil {
+		return nil, fmt.Errorf("dataset: corpus %s contains no documents", path)
+	}
+	if sampled > 0 {
+		src.stats.AvgTokens = float64(totalTokens) / float64(sampled)
+	}
+	return src, nil
+}
+
+// Name implements Source.
+func (n *NDJSONSource) Name() string { return n.name }
+
+// Schema implements Source.
+func (n *NDJSONSource) Schema() *schema.Schema { return n.schema }
+
+// Path returns the backing corpus file.
+func (n *NDJSONSource) Path() string { return n.path }
+
+// Len returns the dataset's cardinality without reading records.
+func (n *NDJSONSource) Len() int { return n.stats.NumRecords }
+
+// Stats implements Stater.
+func (n *NDJSONSource) Stats() (SourceStats, bool) { return n.stats, true }
+
+// IterateRecords implements RecordIterator: each call re-opens the file
+// and decodes one document at a time, so memory stays constant in the
+// corpus size.
+func (n *NDJSONSource) IterateRecords(yield func(*record.Record) error) error {
+	r, err := corpus.OpenNDJSON(n.path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer r.Close()
+	for {
+		d, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("dataset: %w", err)
+		}
+		rec, err := corpus.DocRecord(d, n.schema, n.name)
+		if err != nil {
+			return err
+		}
+		if err := yield(rec); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Records implements Source by draining IterateRecords — the
+// materializing path the sequential engine and quality scoring take.
+func (n *NDJSONSource) Records() ([]*record.Record, error) {
+	out := make([]*record.Record, 0, n.stats.NumRecords)
+	err := n.IterateRecords(func(r *record.Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

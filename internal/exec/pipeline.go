@@ -167,12 +167,40 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 	}
 	var wg sync.WaitGroup
 
-	// Source stage: run the scan once, chunk its output into tagged batches.
+	// Source stage: prefer incremental emission (ops.BatchStreamer — a
+	// scan over a file-backed corpus reads and sends one batch at a time,
+	// bounding memory by batch size); otherwise run the scan once and
+	// chunk its materialized output into tagged batches.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(chans[0])
 		op := phys[0]
+		if bs, ok := op.(ops.BatchStreamer); ok {
+			seq, emitted := 0, 0
+			streamed, err := bs.StreamExecute(stageCtxs[0], size, func(recs []*record.Record) error {
+				if !send(chans[0], batch{seq: seq, recs: recs}) {
+					return cctx.Err() // sends only fail on cancellation
+				}
+				seq++
+				emitted += len(recs)
+				e.progress(0, op, seq, emitted)
+				return nil
+			})
+			if streamed {
+				if err != nil && cctx.Err() == nil {
+					fail(0, op, err)
+					return
+				}
+				if err == nil && seq == 0 {
+					// Empty dataset: emitBatches' len==0 branch propagates
+					// one empty batch so every downstream stage still
+					// executes and records stats.
+					emitBatches(0, op, chans[0], nil)
+				}
+				return
+			}
+		}
 		recs, err := op.Execute(stageCtxs[0], nil)
 		if err != nil {
 			fail(0, op, err)

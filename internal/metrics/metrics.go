@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -70,6 +71,65 @@ func FilterQuality(inputs, kept []*record.Record, predicate string) PRF {
 		}
 	}
 	return prf(tp, fp, fn)
+}
+
+// FilterQualityByTruth scores a filter stage through any downstream
+// stage's outputs: outputs are matched back to inputs by the content of
+// their carried ground-truth annotation (which Derive preserves across
+// Convert and friends), so callers can score a mid-pipeline filter off
+// the pipeline's final records without re-running the filter alone.
+// Content matching — unlike ExtractionQuality's pointer matching — also
+// survives file-backed sources, whose repeated reads deserialize fresh
+// Truth values. Inputs without ground truth are skipped.
+//
+// Precondition: each document's Truth content must be unique within the
+// corpus (true for every generated domain, whose truths carry per-doc
+// identifiers). Documents sharing identical truth collapse to one
+// tp/fp/fn observation, so hand-made corpora with degenerate truths
+// (e.g. bare labels) score meaninglessly here — use FilterQuality over
+// the filter's own kept set instead.
+func FilterQualityByTruth(inputs, outputs []*record.Record, predicate string) PRF {
+	kept := make(map[string]bool, len(outputs))
+	for _, r := range outputs {
+		if truth := corpus.TruthOf(r); truth != nil {
+			kept[truthKey(truth)] = true
+		}
+	}
+	var tp, fp, fn int
+	seen := make(map[string]bool, len(inputs))
+	for _, r := range inputs {
+		truth := corpus.TruthOf(r)
+		if truth == nil {
+			continue
+		}
+		key := truthKey(truth)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		gold := llm.GoldFilterDecision(truth, predicate)
+		got := kept[key]
+		switch {
+		case gold && got:
+			tp++
+		case !gold && got:
+			fp++
+		case gold && !got:
+			fn++
+		}
+	}
+	return prf(tp, fp, fn)
+}
+
+// truthKey canonically serializes a ground-truth annotation so equal
+// truths compare equal across deserializations (JSON renders maps in
+// sorted key order).
+func truthKey(t *corpus.Truth) string {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Sprintf("%v", t)
+	}
+	return string(data)
 }
 
 // ExtractionQuality scores extracted records against ground-truth mentions

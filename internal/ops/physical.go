@@ -62,6 +62,20 @@ func IsStreamable(p Physical) bool {
 	return ok && s.Streamable()
 }
 
+// BatchStreamer is an optional capability of source-position (scan)
+// physical operators: emitting output incrementally in batches instead of
+// one materialized slice. The pipelined executor prefers it for the
+// pipeline's source stage, which is what lets a file-backed corpus flow
+// through the engine without ever being loaded whole.
+type BatchStreamer interface {
+	// StreamExecute emits the operator's output in order, in batches of
+	// up to batchSize records, calling emit once per batch. It reports
+	// ok=false — without having called emit — when incremental emission
+	// is unavailable and the caller should fall back to Execute. An error
+	// from emit aborts the stream and is returned verbatim.
+	StreamExecute(ctx *Ctx, batchSize int, emit func([]*record.Record) error) (ok bool, err error)
+}
+
 // ParallelHinter is an optional Physical capability: an operator that wants
 // a worker-pool width different from the engine-wide Config.Parallelism
 // (e.g. pure-CPU operators that gain nothing from overlapping LLM calls)

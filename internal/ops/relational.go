@@ -50,6 +50,55 @@ func (s *ScanExec) Execute(ctx *Ctx, in []*record.Record) ([]*record.Record, err
 	return recs, nil
 }
 
+// StreamExecute implements BatchStreamer: when the dataset supports
+// incremental iteration (dataset.RecordIterator — e.g. a file-backed
+// NDJSON corpus), the scan emits records batch by batch as they are read,
+// so the pipeline's memory stays bounded by the batch size rather than
+// the corpus size. Per-batch statistics sum to exactly what the
+// materializing Execute path records.
+func (s *ScanExec) StreamExecute(ctx *Ctx, batchSize int, emit func([]*record.Record) error) (bool, error) {
+	it, ok := s.Source.(dataset.RecordIterator)
+	if !ok {
+		return false, nil
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	buf := make([]*record.Record, 0, batchSize)
+	emitted := 0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		ctx.Stats.noteBatch(ctx.curOp, s.ID(), s.Kind(), 0, len(buf))
+		out := buf
+		emitted += len(out)
+		buf = make([]*record.Record, 0, batchSize)
+		return emit(out)
+	}
+	err := it.IterateRecords(func(r *record.Record) error {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
+		buf = append(buf, r)
+		if len(buf) == batchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err == nil {
+		err = flush()
+	}
+	if err != nil {
+		return true, err
+	}
+	if emitted == 0 {
+		// Keep the stats row even for an empty dataset, as Execute does.
+		ctx.Stats.noteBatch(ctx.curOp, s.ID(), s.Kind(), 0, 0)
+	}
+	return true, nil
+}
+
 // UDFFilterExec evaluates a Go predicate; zero LLM cost, perfect quality.
 type UDFFilterExec struct {
 	// Filter is the logical operator (UDF must be non-nil).

@@ -22,9 +22,43 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/ops"
+	"repro/internal/record"
 )
+
+// sampleRecords takes the first n records of a source, preferring
+// incremental iteration (dataset.RecordIterator) so sampling a file-backed
+// corpus never loads it whole. n <= 0 yields an empty sample regardless
+// of source type.
+func sampleRecords(src dataset.Source, n int) ([]*record.Record, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if it, ok := src.(dataset.RecordIterator); ok {
+		var sample []*record.Record
+		err := it.IterateRecords(func(r *record.Record) error {
+			sample = append(sample, r)
+			if len(sample) >= n {
+				return dataset.ErrStop
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sample, nil
+	}
+	all, err := src.Records()
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, nil
+}
 
 // Plan is one fully-physical pipeline with its cost-model trajectory.
 type Plan struct {
@@ -101,7 +135,9 @@ type Optimizer struct {
 func New(opts Options) *Optimizer { return &Optimizer{opts: opts} }
 
 // InitialEstimate builds the cost-model seed for a logical chain: the scan
-// source's cardinality and average record size.
+// source's cardinality and average record size. Sources that know their
+// own statistics (dataset.Stater — e.g. a file-backed corpus with a
+// manifest) are costed without materializing a single record.
 func InitialEstimate(chain []ops.Logical) (ops.Estimate, error) {
 	if len(chain) == 0 {
 		return ops.Estimate{}, fmt.Errorf("optimizer: empty plan")
@@ -109,6 +145,15 @@ func InitialEstimate(chain []ops.Logical) (ops.Estimate, error) {
 	scan, ok := chain[0].(*ops.Scan)
 	if !ok {
 		return ops.Estimate{}, fmt.Errorf("optimizer: plan must start with scan")
+	}
+	if st, ok := scan.Source.(dataset.Stater); ok {
+		if s, trusted := st.Stats(); trusted {
+			return ops.Estimate{
+				Cardinality: float64(s.NumRecords),
+				AvgTokens:   s.AvgTokens,
+				Quality:     1,
+			}, nil
+		}
 	}
 	recs, err := scan.Source.Records()
 	if err != nil {
@@ -316,13 +361,9 @@ func Calibrate(chain []ops.Logical, sampleSize int, ctx *ops.Ctx) (Calibration, 
 	if !ok {
 		return nil, fmt.Errorf("optimizer: plan must start with scan")
 	}
-	all, err := scan.Source.Records()
+	sample, err := sampleRecords(scan.Source, sampleSize)
 	if err != nil {
 		return nil, err
-	}
-	sample := all
-	if len(sample) > sampleSize {
-		sample = sample[:sampleSize]
 	}
 	calib := Calibration{}
 	recs := sample

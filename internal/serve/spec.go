@@ -36,12 +36,17 @@ type Spec struct {
 	PolicyParam float64 `json:"policy_param,omitempty"`
 }
 
-// DatasetSpec identifies a dataset by registered name and/or directory.
+// DatasetSpec identifies a dataset by registered name, or by a local
+// folder / NDJSON corpus file to register under that name on first use.
 type DatasetSpec struct {
 	// Name is the registry name.
 	Name string `json:"name"`
 	// Dir optionally points at a local folder to register under Name.
 	Dir string `json:"dir,omitempty"`
+	// File optionally points at an NDJSON corpus file (see
+	// docs/howto-corpus.md) to register under Name; the engine streams
+	// it without loading the corpus whole. Dir wins when both are set.
+	File string `json:"file,omitempty"`
 }
 
 // OpSpec is one logical operator. Exactly the fields relevant to Op are
@@ -91,11 +96,17 @@ func (s *Spec) Build(ctx *pz.Context) (*pz.Dataset, error) {
 	}
 	ds, err := ctx.Dataset(name)
 	if err != nil {
-		if s.Dataset.Dir == "" {
-			return nil, fmt.Errorf("serve: dataset %q not registered and no dir given", name)
-		}
-		if _, err := ctx.RegisterDir(name, s.Dataset.Dir); err != nil {
-			return nil, fmt.Errorf("serve: register %q: %w", name, err)
+		switch {
+		case s.Dataset.Dir != "":
+			if _, err := ctx.RegisterDir(name, s.Dataset.Dir); err != nil {
+				return nil, fmt.Errorf("serve: register %q: %w", name, err)
+			}
+		case s.Dataset.File != "":
+			if _, err := ctx.RegisterNDJSON(name, s.Dataset.File); err != nil {
+				return nil, fmt.Errorf("serve: register %q: %w", name, err)
+			}
+		default:
+			return nil, fmt.Errorf("serve: dataset %q not registered and no dir or file given", name)
 		}
 		if ds, err = ctx.Dataset(name); err != nil {
 			return nil, err

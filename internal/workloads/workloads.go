@@ -79,3 +79,74 @@ func StreamPlan(n int) ([]ops.Physical, error) {
 	}
 	return optimizer.ChampionPlan(chain)
 }
+
+// The two corpus-scale workloads over the streaming-native domains
+// (internal/corpus support and finance). Both take any dataset.Source —
+// an in-memory DocsSource or a file-backed NDJSONSource — so the same
+// chain runs over a registered 100k-document corpus file in
+// BenchmarkCorpusScale and over small in-memory corpora in tests.
+
+// SupportPredicate is the triage filter of the support workload; its gold
+// answer is the corpus UrgentLabel.
+const SupportPredicate = "The ticket is urgent and needs immediate attention"
+
+// FinancePredicate is the profitability filter of the finance workload;
+// its gold answer is the corpus ProfitableLabel.
+const FinancePredicate = "The filing reports a profitable fiscal year"
+
+// SupportRouteSchema is the routing extraction target of the support
+// workload: who the ticket is from and where it should go.
+func SupportRouteSchema() (*schema.Schema, error) {
+	return schema.Derive("TicketRoute",
+		"Routing fields extracted from a customer-support ticket.",
+		[]string{"ticket_id", "product", "category", "priority"},
+		[]string{
+			"The ticket identifier (TCK-...)",
+			"The product the ticket concerns",
+			"The support category the ticket should route to",
+			"The ticket priority (P1..P4)",
+		})
+}
+
+// FinanceFiguresSchema is the numeric extraction target of the finance
+// workload: the filing's key figures.
+func FinanceFiguresSchema() (*schema.Schema, error) {
+	return schema.Derive("KeyFigures",
+		"Key financial figures extracted from an annual filing.",
+		[]string{"company", "fiscal_year:int", "revenue_musd:float", "net_income_musd:float", "eps:float"},
+		[]string{
+			"The filing company's legal name",
+			"The fiscal year the filing covers",
+			"Total revenue in millions of USD",
+			"Net income in millions of USD (negative for a loss)",
+			"Diluted earnings per share in USD (negative for a loss)",
+		})
+}
+
+// SupportTriageChain is the support workload: tickets flowing through the
+// urgency filter into routing extraction.
+func SupportTriageChain(src dataset.Source) ([]ops.Logical, error) {
+	route, err := SupportRouteSchema()
+	if err != nil {
+		return nil, err
+	}
+	return []ops.Logical{
+		&ops.Scan{Source: src},
+		&ops.Filter{Predicate: SupportPredicate},
+		&ops.Convert{Target: route, Desc: route.Doc(), Card: ops.OneToOne},
+	}, nil
+}
+
+// FinanceExtractChain is the finance workload: filings flowing through
+// the profitability filter into key-figure extraction.
+func FinanceExtractChain(src dataset.Source) ([]ops.Logical, error) {
+	figures, err := FinanceFiguresSchema()
+	if err != nil {
+		return nil, err
+	}
+	return []ops.Logical{
+		&ops.Scan{Source: src},
+		&ops.Filter{Predicate: FinancePredicate},
+		&ops.Convert{Target: figures, Desc: figures.Doc(), Card: ops.OneToOne},
+	}, nil
+}

@@ -3,11 +3,16 @@ package workloads_test
 import (
 	"bytes"
 	"encoding/json"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/ops"
 	"repro/internal/optimizer"
+	"repro/internal/schema"
 	"repro/internal/serve"
 	"repro/internal/workloads"
 	"repro/pz"
@@ -102,6 +107,49 @@ func TestStreamChainOptimizesUnderEveryPolicy(t *testing.T) {
 	}
 	if phys, err := workloads.StreamPlan(6); err != nil || len(phys) == 0 {
 		t.Fatalf("StreamPlan: %d ops, err %v", len(phys), err)
+	}
+}
+
+// TestCorpusWorkloadChains: the support-triage and finance-extraction
+// chains type-check over both in-memory and file-backed sources and admit
+// a champion plan.
+func TestCorpusWorkloadChains(t *testing.T) {
+	supportDocs := corpus.GenerateSupport(corpus.SupportConfig{NumTickets: 10, UrgentRate: 0.5, Seed: 1})
+	supportSrc, err := dataset.NewDocsSource("tickets", schema.TextFile, supportDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	financePath := filepath.Join(t.TempDir(), "filings.ndjson")
+	g := corpus.NewFinanceGenerator(corpus.FinanceConfig{NumFilings: 10, ProfitableRate: 0.5, Seed: 2})
+	if _, err := corpus.SaveNDJSON(financePath, g, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	financeSrc, err := dataset.NewNDJSONSource("filings", financePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name  string
+		chain func() ([]ops.Logical, error)
+	}{
+		{"support", func() ([]ops.Logical, error) { return workloads.SupportTriageChain(supportSrc) }},
+		{"finance", func() ([]ops.Logical, error) { return workloads.FinanceExtractChain(financeSrc) }},
+	} {
+		chain, err := c.chain()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if _, err := ops.ValidatePlan(chain); err != nil {
+			t.Fatalf("%s: chain does not type-check: %v", c.name, err)
+		}
+		phys, err := optimizer.ChampionPlan(chain)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(phys) != len(chain) {
+			t.Fatalf("%s: champion plan has %d ops for %d logical", c.name, len(phys), len(chain))
+		}
 	}
 }
 

@@ -230,6 +230,23 @@ func (c *Context) RegisterDir(name, dir string) (Source, error) {
 	return src, nil
 }
 
+// RegisterNDJSON registers an on-disk NDJSON corpus file (one JSON
+// document + embedded ground truth per line, manifest alongside; see
+// docs/howto-corpus.md) as a dataset without loading it: the pipelined
+// engine streams records from the file batch by batch, and the optimizer
+// costs pipelines from the manifest statistics. Generate such files with
+// cmd/pzcorpus or corpus.SaveNDJSON.
+func (c *Context) RegisterNDJSON(name, path string) (Source, error) {
+	src, err := dataset.NewNDJSONSource(name, path)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.registry.Register(src); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
 // RegisterRecords registers an in-memory record collection.
 func (c *Context) RegisterRecords(name string, s *Schema, recs []*Record) (Source, error) {
 	src, err := dataset.NewMemSource(name, s, recs)
