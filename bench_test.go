@@ -458,6 +458,97 @@ func BenchmarkCorpusScale(b *testing.B) {
 	b.ReportMetric(res.CostUSD, "usd")
 }
 
+// BenchmarkShardScale is the partition-parallel executor pair: the same
+// filter pipeline over a 100k-document file-backed NDJSON corpus, once
+// through the single-reader pipelined scan and once fanned out across
+// P=8 partitions (independent byte-range readers feeding per-partition
+// source+map pipelines, merged back into exact dataset order by sequence
+// tags). Partitions model independent shards — each gets the configured
+// per-operator parallelism — so the sharded run must beat the single
+// reader by >= 2x on the simulated clock while producing byte-identical
+// records; the CI smoke step records this benchmark's output as
+// BENCH_shard.json.
+func BenchmarkShardScale(b *testing.B) {
+	const docs = 100_000
+	const partitions = 8
+	cfg := corpus.SupportConfig{NumTickets: docs, UrgentRate: 0.3, Seed: 29}
+	path := filepath.Join(b.TempDir(), "support.ndjson")
+	m, err := corpus.SaveNDJSON(path, corpus.NewSupportGenerator(cfg), cfg.Seed, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.Index == nil {
+		b.Fatal("writer produced no partition index")
+	}
+
+	run := func(b *testing.B, parts int) *pz.Result {
+		b.Helper()
+		ctx, err := pz.NewContext(pz.Config{Parallelism: 8, Partitions: parts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctx.RegisterNDJSON("tickets", path); err != nil {
+			b.Fatal(err)
+		}
+		ds, err := ctx.Dataset("tickets")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ctx.Execute(ds.Filter(workloads.SupportPredicate), pz.MaxQuality())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if kept := len(res.Records); kept < docs/4 || kept > docs*35/100 {
+			b.Fatalf("kept %d of %d records, want ~30%%", kept, docs)
+		}
+		return res
+	}
+	single := run(b, 1)
+	singleJSON, err := serve.RecordsJSON(single.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("single", func(b *testing.B) {
+		var res *pz.Result
+		for i := 0; i < b.N; i++ {
+			res = run(b, 1)
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(docs*b.N)/secs, "docs/s")
+		}
+		b.ReportMetric(res.Elapsed.Seconds(), "sim_s")
+		b.ReportMetric(float64(len(res.Records)), "records")
+	})
+	b.Run("sharded", func(b *testing.B) {
+		var res *pz.Result
+		for i := 0; i < b.N; i++ {
+			res = run(b, partitions)
+		}
+		b.StopTimer()
+		shardJSON, err := serve.RecordsJSON(res.Records)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(shardJSON, singleJSON) {
+			b.Fatalf("partitioned results are not byte-identical to the single-reader scan (%d vs %d records)",
+				len(res.Records), len(single.Records))
+		}
+		speedup := single.Elapsed.Seconds() / res.Elapsed.Seconds()
+		if speedup < 2 {
+			b.Fatalf("sharded speedup %.2fx < 2x at P=%d (single %v, sharded %v)",
+				speedup, partitions, single.Elapsed, res.Elapsed)
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(docs*b.N)/secs, "docs/s")
+		}
+		b.ReportMetric(res.Elapsed.Seconds(), "sim_s")
+		b.ReportMetric(float64(len(res.Records)), "records")
+		b.ReportMetric(speedup, "speedup_x")
+	})
+}
+
 // BenchmarkMicroLLMFilterCall isolates one simulated filter call.
 func BenchmarkMicroLLMFilterCall(b *testing.B) {
 	_, _, inputs, err := experiments.BiomedContext(pz.Config{})

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// Golden-file tests for the CLI's human-facing output: corpus generation
+// is deterministic byte for byte, so `pzcorpus stats` and `pzcorpus
+// index` must print exactly what they printed when the goldens were
+// recorded — formatting drift is a regression. Regenerate with
+// `go test ./cmd/pzcorpus -run Golden -update`.
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, testdata, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join(testdata, name)
+	if *update {
+		if err := os.MkdirAll(testdata, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output drifted from golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenStatsAndIndex(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testdata := filepath.Join(wd, "testdata")
+	dir := t.TempDir()
+	t.Chdir(dir) // CLI output embeds the path; keep it relative and stable
+
+	g, err := corpus.NewGenerator(corpus.DomainSupport, 60, -1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := corpus.SaveNDJSON("support.ndjson", g, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := runStats([]string{"support.ndjson"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, testdata, "stats_support.golden", buf.Bytes())
+
+	// Strip the index to exercise the back-fill path `pzcorpus index`
+	// exists for, then re-index and snapshot its report.
+	m, err := corpus.ReadManifest("support.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Index = nil
+	if err := corpus.WriteManifest("support.ndjson", m); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := runIndex([]string{"-partitions", "4", "support.ndjson"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, testdata, "index_support.golden", buf.Bytes())
+
+	// And the stats view of an index-less corpus points at the back-fill.
+	m.Index = nil
+	if err := corpus.WriteManifest("support.ndjson", m); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := runStats([]string{"support.ndjson"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, testdata, "stats_support_noindex.golden", buf.Bytes())
+}

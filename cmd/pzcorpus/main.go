@@ -51,6 +51,8 @@ func main() {
 		err = runValidate(args, os.Stdout)
 	case "stats":
 		err = runStats(args, os.Stdout)
+	case "index":
+		err = runIndex(args, os.Stdout)
 	case "domains":
 		err = runDomains(args, os.Stdout)
 	case "-h", "-help", "--help", "help":
@@ -74,6 +76,7 @@ commands:
   generate -domain D -out F [-n N | -size S] [-rate R] [-seed N]
   validate F        re-derive checksum, check every line's ground truth
   stats    F        manifest + fresh streaming statistics
+  index    F        back-fill the byte-offset partition index [-partitions P]
   domains           list registered corpus domains
 `)
 }
@@ -189,7 +192,13 @@ func runStats(args []string, stdout io.Writer) error {
 
 	if m, err := corpus.ReadManifest(path); err == nil {
 		fmt.Fprintf(stdout, "manifest: domain=%s docs=%d seed=%d sha256=%s…\n",
-			m.Domain, m.NumDocs, m.Seed, m.SHA256[:12])
+			m.Domain, m.NumDocs, m.Seed, shaPrefix(m.SHA256))
+		if m.Index != nil {
+			fmt.Fprintf(stdout, "index:    %d checkpoints, stride %d (partitioned scans available)\n",
+				len(m.Index.Offsets), m.Index.Stride)
+		} else {
+			fmt.Fprintln(stdout, "index:    none (back-fill with `pzcorpus index`)")
+		}
 	} else if os.IsNotExist(err) {
 		fmt.Fprintln(stdout, "manifest: none")
 	} else {
@@ -230,6 +239,48 @@ func runStats(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "avg tokens: %.0f/doc\n", float64(totalTokens)/float64(docs))
 	printLabelCounts(stdout, labels, docs)
 	return nil
+}
+
+// runIndex back-fills the byte-offset partition index of an existing
+// corpus (corpora written before the index format, or by hand) and shows
+// the partition layout the index yields.
+func runIndex(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("index", flag.ContinueOnError)
+	parts := fs.Int("partitions", 8, "partition count to preview after indexing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("index: exactly one corpus path expected")
+	}
+	path := fs.Arg(0)
+	m, created, err := corpus.IndexNDJSON(path)
+	if err != nil {
+		return err
+	}
+	verb := "updated"
+	if created {
+		verb = "created"
+	}
+	if m.Index == nil {
+		fmt.Fprintf(stdout, "%s manifest for %s: corpus is empty, no index written\n", verb, path)
+		return nil
+	}
+	fmt.Fprintf(stdout, "%s manifest for %s: %d docs, %d checkpoints (stride %d), sha256 %s…\n",
+		verb, path, m.NumDocs, len(m.Index.Offsets), m.Index.Stride, shaPrefix(m.SHA256))
+	for _, p := range m.Partitions(*parts) {
+		fmt.Fprintf(stdout, "partition %d: %6d docs @ byte offset %d\n", p.Ordinal, p.Docs, p.Offset)
+	}
+	return nil
+}
+
+// shaPrefix shortens a checksum for display (tolerating short or missing
+// checksums in hand-made manifests).
+func shaPrefix(sha string) string {
+	if len(sha) > 12 {
+		sha = sha[:12]
+	}
+	return sha
 }
 
 // runDomains lists the corpus domain registry.

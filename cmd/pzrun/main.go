@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pzrun -spec pipeline.json [-policy max-quality] [-param 0] [-records 10]
-//	      [-parallelism 4] [-batch 0] [-progress] [-sample 0]
+//	      [-parallelism 4] [-partitions 0] [-batch 0] [-progress] [-sample 0]
 //	      [-timeout 0] [-server http://host:8077] [-tenant name]
 //
 // The spec format is internal/serve's wire Spec — the same JSON pzserve
@@ -55,6 +55,7 @@ type options struct {
 	param       float64
 	maxRecords  int
 	parallelism int
+	partitions  int
 	batch       int
 	sample      int
 	progress    bool
@@ -70,6 +71,7 @@ func main() {
 	flag.Float64Var(&opts.param, "param", 0, "parameter for constrained policies")
 	flag.IntVar(&opts.maxRecords, "records", 10, "output records to display")
 	flag.IntVar(&opts.parallelism, "parallelism", 4, "max concurrent LLM calls per operator (>1 selects the pipelined streaming engine)")
+	flag.IntVar(&opts.partitions, "partitions", 0, "partition fan-out for indexed NDJSON datasets (0 = single reader locally / server default with -server; spec-file partitions win)")
 	flag.IntVar(&opts.batch, "batch", 0, "record batch size between pipeline stages (0 = auto; floored at -parallelism)")
 	flag.BoolVar(&opts.progress, "progress", false, "print per-stage progress events to stderr")
 	flag.IntVar(&opts.sample, "sample", 0, "sentinel calibration sample size")
@@ -102,6 +104,12 @@ func run(specPath string, opts options) error {
 	if sp.Policy == "" {
 		sp.Policy = opts.policy
 		sp.PolicyParam = opts.param
+	}
+	// A partition fan-out in the spec file wins, so a spec submitted to
+	// pzserve behaves identically here; the flag fills the gap either way
+	// (Build applies it locally, the JSON body carries it remotely).
+	if sp.Partitions == 0 {
+		sp.Partitions = opts.partitions
 	}
 	ctx := context.Background()
 	if opts.timeout > 0 {

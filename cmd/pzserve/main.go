@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pzserve -addr :8077 -dataset papers=./pdfs [-dataset tickets=./corpus.ndjson]
-//	        [-parallelism 4] [-batch 0] [-sample 0]
+//	        [-parallelism 4] [-partitions 0] [-batch 0] [-sample 0]
 //	        [-max-inflight 8] [-max-queue 16] [-plan-cache 128]
 //	        [-llm-cache=true] [-llm-cache-capacity 4096]
 //	        [-budget 0] [-tenant-budget alice=1.50]
@@ -46,6 +46,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	parallelism := flag.Int("parallelism", 4, "max concurrent LLM calls per operator (>1 selects the pipelined streaming engine)")
+	partitions := flag.Int("partitions", 0, "default partition fan-out for indexed NDJSON datasets (0 = single reader; per-query specs override)")
 	batch := flag.Int("batch", 0, "record batch size between pipeline stages (0 = auto)")
 	sample := flag.Int("sample", 0, "sentinel calibration sample size")
 	maxInflight := flag.Int("max-inflight", 8, "max concurrently executing queries")
@@ -80,7 +81,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, datasets, budgets, serveOptions{
-		parallelism: *parallelism, batch: *batch, sample: *sample,
+		parallelism: *parallelism, partitions: *partitions, batch: *batch, sample: *sample,
 		maxInflight: *maxInflight, maxQueue: *maxQueue, planCache: *planCache,
 		llmCache: *llmCache, llmCacheCap: *llmCacheCap, budget: *budget,
 	}); err != nil {
@@ -90,7 +91,8 @@ func main() {
 }
 
 type serveOptions struct {
-	parallelism, batch, sample       int
+	parallelism, partitions          int
+	batch, sample                    int
 	maxInflight, maxQueue, planCache int
 	llmCache                         bool
 	llmCacheCap                      int
@@ -100,6 +102,7 @@ type serveOptions struct {
 func run(addr string, datasets map[string]string, budgets map[string]float64, opts serveOptions) error {
 	ctx, err := pz.NewContext(pz.Config{
 		Parallelism:     opts.parallelism,
+		Partitions:      opts.partitions,
 		StreamBatchSize: opts.batch,
 		SampleSize:      opts.sample,
 		EnableCache:     opts.llmCache,

@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzNDJSONRead hammers the NDJSON line parser and the manifest
+// validator with arbitrary bytes: whatever the corpus file and its
+// manifest contain — truncated JSON, garbage lines, hostile counts and
+// checkpoint offsets — reading, validating, and range-reading must fail
+// with errors, never panic or loop. Run longer with
+// `go test -fuzz FuzzNDJSONRead ./internal/corpus`.
+func FuzzNDJSONRead(f *testing.F) {
+	valid := []byte(`{"filename":"a.txt","text":"alpha beta","truth":{"labels":{"x":true}}}` + "\n")
+	f.Add([]byte(nil), []byte(nil), false)
+	f.Add(valid, []byte(nil), false)
+	f.Add(valid, []byte(`{"format_version":1,"num_docs":1,"sha256":"","bytes":70}`), true)
+	f.Add([]byte(`{"filename":"a.txt","text":"tru`), []byte(nil), false) // truncated line
+	f.Add([]byte("not json at all\n\n{}\n"), []byte(`{"num_docs":-5}`), true)
+	f.Add(valid, []byte(`{"num_docs":1,"bytes":70,"index":{"stride":0,"offsets":[0]}}`), true)
+	f.Add(valid, []byte(`{"num_docs":1,"bytes":70,"index":{"stride":1,"offsets":[9999999]}}`), true)
+	f.Add(append(valid, valid...), []byte(`{"num_docs":2,"bytes":140,"index":{"stride":1,"offsets":[0,35]}}`), true)
+
+	f.Fuzz(func(t *testing.T, corpusBytes, manifestBytes []byte, withManifest bool) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.ndjson")
+		if err := os.WriteFile(path, corpusBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if withManifest {
+			if err := os.WriteFile(path+ManifestSuffix, manifestBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Whole-file reader: drain to EOF or first error.
+		if r, err := OpenNDJSON(path); err == nil {
+			if r.Len() < 0 {
+				t.Fatalf("reader Len %d < 0", r.Len())
+			}
+			if _, err := Collect(r); err != nil && errors.Is(err, io.EOF) {
+				t.Fatalf("Collect leaked io.EOF: %v", err)
+			}
+			r.Close()
+		}
+
+		// Validator: content problems land in the report, I/O and
+		// manifest corruption in the error — either way, no panic.
+		if rep, err := ValidateNDJSON(path); err == nil && rep.Docs < 0 {
+			t.Fatalf("validation counted %d docs", rep.Docs)
+		}
+
+		// Manifest-driven range readers: any layout the (possibly
+		// hostile) manifest yields must read cleanly or error.
+		if m, err := ReadManifest(path); err == nil {
+			for _, p := range m.Partitions(4) {
+				if p.Docs < 0 || p.Offset < 0 {
+					t.Fatalf("partition with negative geometry: %+v", p)
+				}
+				if pr, err := OpenNDJSONRange(path, p.Offset, p.Docs); err == nil {
+					_, _ = Collect(pr)
+					pr.Close()
+				}
+			}
+		}
+	})
+}

@@ -47,6 +47,11 @@ type Manifest struct {
 	// LabelCounts counts documents whose Truth sets each label true —
 	// the corpus's class balance at a glance.
 	LabelCounts map[string]int `json:"label_counts,omitempty"`
+	// Index is the byte-offset partition index (see PartitionIndex):
+	// checkpoint offsets that let partition-parallel scans open one range
+	// reader per corpus slice. Absent on corpora written before the index
+	// existed; back-fill with IndexNDJSON / `pzcorpus index`.
+	Index *PartitionIndex `json:"index,omitempty"`
 }
 
 // countingWriter tracks bytes written through it.
@@ -69,7 +74,10 @@ func WriteNDJSON(w io.Writer, g Generator) (*Manifest, error) {
 	h := sha256.New()
 	cw := &countingWriter{w: io.MultiWriter(w, h)}
 	bw := bufio.NewWriterSize(cw, 1<<16)
-	enc := json.NewEncoder(bw)
+	// lw counts encoded bytes above the buffer, so lw.n is always the byte
+	// offset of the next document line — the partition index checkpoints.
+	lw := &countingWriter{w: bw}
+	enc := json.NewEncoder(lw)
 	enc.SetEscapeHTML(false)
 
 	m := &Manifest{
@@ -77,6 +85,7 @@ func WriteNDJSON(w io.Writer, g Generator) (*Manifest, error) {
 		Domain:        g.Domain(),
 		LabelCounts:   map[string]int{},
 	}
+	ix := newIndexBuilder()
 	for {
 		d, err := g.Next()
 		if err == io.EOF {
@@ -85,6 +94,7 @@ func WriteNDJSON(w io.Writer, g Generator) (*Manifest, error) {
 		if err != nil {
 			return nil, fmt.Errorf("corpus: generate doc %d: %w", m.NumDocs, err)
 		}
+		ix.note(m.NumDocs, lw.n)
 		if err := enc.Encode(d); err != nil {
 			return nil, fmt.Errorf("corpus: encode doc %d: %w", m.NumDocs, err)
 		}
@@ -102,6 +112,7 @@ func WriteNDJSON(w io.Writer, g Generator) (*Manifest, error) {
 	}
 	m.Bytes = cw.n
 	m.SHA256 = hex.EncodeToString(h.Sum(nil))
+	m.Index = ix.index(m.NumDocs)
 	return m, nil
 }
 
@@ -154,6 +165,17 @@ func ReadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("corpus: bad manifest for %s: %w", path, err)
 	}
+	// Reject malformed counts and indexes here, before they can size
+	// allocations (Len-capacity slices) or aim range readers at garbage
+	// offsets. A corrupt manifest is an error, not a crash.
+	if m.NumDocs < 0 || m.Bytes < 0 {
+		return nil, fmt.Errorf("corpus: bad manifest for %s: negative counts (docs=%d bytes=%d)", path, m.NumDocs, m.Bytes)
+	}
+	if m.Index != nil {
+		if err := m.Index.check(m.NumDocs, m.Bytes); err != nil {
+			return nil, fmt.Errorf("corpus: bad manifest for %s: %w", path, err)
+		}
+	}
 	return &m, nil
 }
 
@@ -164,24 +186,29 @@ const maxNDJSONLine = 8 << 20
 // DocReader streams documents from an NDJSON corpus file one line at a
 // time. It implements Generator, so a file-backed corpus flows through
 // the same API as a synthetic one (Collect, WriteNDJSON, validation).
-// Close it when done; Next returns io.EOF at end of file.
+// Close it when done; Next returns io.EOF at end of file — or, for a
+// range reader (OpenNDJSONRange), after the range's document count.
 type DocReader struct {
 	domain string
 	n      int
-	f      *os.File
-	sc     *bufio.Scanner
-	line   int
+	// remaining is the document budget of a range reader; -1 means
+	// unlimited (a whole-file reader).
+	remaining int
+	manifest  *Manifest
+	f         *os.File
+	sc        *bufio.Scanner
+	line      int
 }
 
 // OpenNDJSON opens the corpus at path. Domain and document count come
 // from the manifest when present; a manifest-less file is counted with
 // one streaming pre-pass so Len stays exact.
 func OpenNDJSON(path string) (*DocReader, error) {
-	r := &DocReader{}
+	r := &DocReader{remaining: -1}
 	m, err := ReadManifest(path)
 	switch {
 	case err == nil:
-		r.domain, r.n = m.Domain, m.NumDocs
+		r.domain, r.n, r.manifest = m.Domain, m.NumDocs, m
 	case os.IsNotExist(err):
 		n, cerr := countLines(path)
 		if cerr != nil {
@@ -225,11 +252,20 @@ func countLines(path string) (int, error) {
 // Domain implements Generator (empty for manifest-less corpora).
 func (r *DocReader) Domain() string { return r.domain }
 
+// Manifest returns the corpus manifest OpenNDJSON loaded (nil for
+// manifest-less corpora and range readers), saving callers a second
+// read-and-validate pass.
+func (r *DocReader) Manifest() *Manifest { return r.manifest }
+
 // Len implements Generator.
 func (r *DocReader) Len() int { return r.n }
 
-// Next implements Generator: it decodes the next non-empty line.
+// Next implements Generator: it decodes the next non-empty line (stopping
+// at the range's document budget for a range reader).
 func (r *DocReader) Next() (*Doc, error) {
+	if r.remaining == 0 {
+		return nil, io.EOF
+	}
 	for r.sc.Scan() {
 		r.line++
 		raw := r.sc.Bytes()
@@ -239,6 +275,9 @@ func (r *DocReader) Next() (*Doc, error) {
 		var d Doc
 		if err := json.Unmarshal(raw, &d); err != nil {
 			return nil, fmt.Errorf("corpus: %s line %d: %w", r.f.Name(), r.line, err)
+		}
+		if r.remaining > 0 {
+			r.remaining--
 		}
 		return &d, nil
 	}

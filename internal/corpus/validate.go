@@ -204,10 +204,12 @@ func ValidateNDJSON(path string) (*ValidationReport, error) {
 	// A hash collision would report a spurious duplicate; at 64 bits the
 	// odds are negligible (~n²/2^65).
 	seen := map[uint64]bool{}
+	ixb := newIndexBuilder()
 	line := 0
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
+		lineStart := rep.Bytes
 		rep.Bytes += int64(len(raw)) + 1 // the scanner strips the newline
 		if len(raw) == 0 {
 			continue
@@ -219,6 +221,7 @@ func ValidateNDJSON(path string) (*ValidationReport, error) {
 			}
 			continue
 		}
+		ixb.note(rep.Docs, lineStart)
 		rep.Docs++
 		nameHash := fnv64(d.Filename)
 		if seen[nameHash] {
@@ -263,6 +266,43 @@ func ValidateNDJSON(path string) (*ValidationReport, error) {
 				rep.errf("label %q count mismatch: file %d, manifest %d", label, got, want)
 			}
 		}
+		validateIndex(rep, m.Index, ixb)
 	}
 	return rep, nil
+}
+
+// validateIndex compares a manifest's partition index against the one
+// re-derived from the file. The index builder is deterministic in the
+// document sequence, so a correct index matches checkpoint for
+// checkpoint; a missing index is only noted — older corpora without one
+// remain valid, just not partitionable.
+func validateIndex(rep *ValidationReport, got *PartitionIndex, ixb *indexBuilder) {
+	want := ixb.index(rep.Docs)
+	if got == nil {
+		if want != nil {
+			rep.Notes = append(rep.Notes,
+				"manifest has no partition index: partitioned scans unavailable, back-fill with `pzcorpus index`")
+		}
+		return
+	}
+	if want == nil {
+		rep.errf("manifest carries a partition index but the corpus has no documents")
+		return
+	}
+	if got.Stride != want.Stride {
+		rep.errf("partition index stride mismatch: file %d, manifest %d", want.Stride, got.Stride)
+		return
+	}
+	if len(got.Offsets) != len(want.Offsets) {
+		rep.errf("partition index checkpoint count mismatch: file %d, manifest %d",
+			len(want.Offsets), len(got.Offsets))
+		return
+	}
+	for k := range want.Offsets {
+		if got.Offsets[k] != want.Offsets[k] {
+			rep.errf("partition index checkpoint %d mismatch: file offset %d, manifest %d",
+				k, want.Offsets[k], got.Offsets[k])
+			return
+		}
+	}
 }

@@ -47,6 +47,25 @@ type Stater interface {
 	Stats() (SourceStats, bool)
 }
 
+// PartitionedSource is an optional Source capability: datasets that can
+// be read as independent contiguous partitions, each by its own range
+// reader (e.g. an NDJSON corpus whose manifest carries a byte-offset
+// partition index). The pipelined executor fans one source+map pipeline
+// out per partition and merges the results back into exact dataset order,
+// so a partitioned read is observably identical to IterateRecords — just
+// spread across parallel readers.
+type PartitionedSource interface {
+	// PartitionLayout returns the per-partition record counts, in dataset
+	// order, for a fan-out of at most max partitions. nil (or a single
+	// entry) means partitioned reads are unavailable — no index, or a
+	// corpus too small to split.
+	PartitionLayout(max int) []int
+	// IteratePartition calls yield for every record of partition part
+	// (0-based) of the layout computed for parts total partitions, under
+	// the same ErrStop contract as IterateRecords.
+	IteratePartition(parts, part int, yield func(*record.Record) error) error
+}
+
 // statsSampleDocs is how many leading documents Stats-capable sources
 // read to estimate AvgTokens (matches the optimizer's own prefix sample).
 const statsSampleDocs = 16
@@ -63,6 +82,9 @@ type NDJSONSource struct {
 	path   string
 	schema *schema.Schema
 	stats  SourceStats
+	// manifest is the corpus manifest when present; its partition index
+	// (if any) is what backs the PartitionedSource capability.
+	manifest *corpus.Manifest
 }
 
 // NewNDJSONSource opens the corpus at path and prepares a source. The
@@ -76,7 +98,8 @@ func NewNDJSONSource(name, path string) (*NDJSONSource, error) {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	defer r.Close()
-	src := &NDJSONSource{name: name, path: path, stats: SourceStats{NumRecords: r.Len()}}
+	src := &NDJSONSource{name: name, path: path, stats: SourceStats{NumRecords: r.Len()},
+		manifest: r.Manifest()}
 	totalTokens, sampled := 0, 0
 	for sampled < statsSampleDocs {
 		d, err := r.Next()
@@ -130,6 +153,11 @@ func (n *NDJSONSource) IterateRecords(yield func(*record.Record) error) error {
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
+	return n.drain(r, yield)
+}
+
+// drain yields every document of r as a record, closing r when done.
+func (n *NDJSONSource) drain(r *corpus.DocReader, yield func(*record.Record) error) error {
 	defer r.Close()
 	for {
 		d, err := r.Next()
@@ -150,6 +178,48 @@ func (n *NDJSONSource) IterateRecords(yield func(*record.Record) error) error {
 			return err
 		}
 	}
+}
+
+// partitions computes the corpus partition layout for at most max
+// partitions (nil without a manifest index).
+func (n *NDJSONSource) partitions(max int) []corpus.Partition {
+	if n.manifest == nil {
+		return nil
+	}
+	return n.manifest.Partitions(max)
+}
+
+// PartitionLayout implements PartitionedSource: the per-partition record
+// counts derived from the manifest's byte-offset index. Sources without
+// an index (hand-made corpora, manifests written before the index format)
+// return nil and scan sequentially.
+func (n *NDJSONSource) PartitionLayout(max int) []int {
+	parts := n.partitions(max)
+	if len(parts) < 2 {
+		return nil
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i] = p.Docs
+	}
+	return out
+}
+
+// IteratePartition implements PartitionedSource: an independent range
+// reader seeks straight to the partition's byte offset and decodes
+// exactly its documents, so concurrent partition iterations never share
+// state beyond the file itself.
+func (n *NDJSONSource) IteratePartition(parts, part int, yield func(*record.Record) error) error {
+	layout := n.partitions(parts)
+	if part < 0 || part >= len(layout) {
+		return fmt.Errorf("dataset: no partition %d in %d-way layout over %s", part, len(layout), n.name)
+	}
+	p := layout[part]
+	r, err := corpus.OpenNDJSONRange(n.path, p.Offset, p.Docs)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return n.drain(r, yield)
 }
 
 // Records implements Source by draining IterateRecords — the

@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/record"
+)
+
+// partitionedSource writes a support corpus (indexed by WriteNDJSON) and
+// opens it as an NDJSONSource.
+func partitionedSource(t *testing.T, n int) *NDJSONSource {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tickets.ndjson")
+	g := corpus.NewSupportGenerator(corpus.SupportConfig{NumTickets: n, UrgentRate: 0.3, Seed: 11})
+	if _, err := corpus.SaveNDJSON(path, g, 11, nil); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewNDJSONSource("tickets", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// renderRecord serializes a record's content (fields and truth identity
+// excluded from record IDs, which reflect allocation order).
+func renderRecord(r *record.Record) string {
+	var b strings.Builder
+	for _, f := range r.Schema().FieldNames() {
+		fmt.Fprintf(&b, "%s=%q;", f, r.GetString(f))
+	}
+	return b.String()
+}
+
+// TestIteratePartitionEquivalence: for randomized fan-outs, concatenating
+// IteratePartition across the layout yields exactly the records (content
+// and order) of one IterateRecords pass — the dataset-level half of the
+// partition≡sequential property.
+func TestIteratePartitionEquivalence(t *testing.T) {
+	const n = 87
+	src := partitionedSource(t, n)
+	var want []string
+	if err := src.IterateRecords(func(r *record.Record) error {
+		want = append(want, renderRecord(r))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != n {
+		t.Fatalf("sequential iteration yielded %d records, want %d", len(want), n)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		max := 2 + rng.Intn(n)
+		layout := src.PartitionLayout(max)
+		if len(layout) < 2 {
+			t.Fatalf("PartitionLayout(%d) = %v, want a real split", max, layout)
+		}
+		var got []string
+		for part, docs := range layout {
+			count := 0
+			if err := src.IteratePartition(len(layout), part, func(r *record.Record) error {
+				got = append(got, renderRecord(r))
+				count++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if count != docs {
+				t.Fatalf("partition %d yielded %d records, layout says %d", part, count, docs)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d-way partitioned iteration yielded %d records, want %d", len(layout), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d differs under %d-way partitioning:\nsequential:  %s\npartitioned: %s",
+					i, len(layout), want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestIteratePartitionErrStop: the early-stop contract holds on the
+// partitioned path too.
+func TestIteratePartitionErrStop(t *testing.T) {
+	src := partitionedSource(t, 40)
+	layout := src.PartitionLayout(4)
+	if len(layout) != 4 {
+		t.Fatalf("layout = %v, want 4 partitions", layout)
+	}
+	seen := 0
+	err := src.IteratePartition(4, 1, func(*record.Record) error {
+		seen++
+		if seen == 3 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStop leaked: %v", err)
+	}
+	if seen != 3 {
+		t.Fatalf("saw %d records after ErrStop at 3", seen)
+	}
+}
+
+// TestIteratePartitionBounds: out-of-range partition ordinals error
+// instead of silently reading the wrong bytes.
+func TestIteratePartitionBounds(t *testing.T) {
+	src := partitionedSource(t, 24)
+	for _, part := range []int{-1, 4, 99} {
+		if err := src.IteratePartition(4, part, func(*record.Record) error { return nil }); err == nil {
+			t.Errorf("IteratePartition(4, %d) accepted an out-of-range ordinal", part)
+		}
+	}
+}
+
+// TestPartitionLayoutUnavailable: sources without a manifest index are
+// not partitionable and must say so, sending the engine down the
+// sequential path.
+func TestPartitionLayoutUnavailable(t *testing.T) {
+	src := partitionedSource(t, 30)
+	src.manifest = nil // as if the corpus had no (usable) manifest
+	if layout := src.PartitionLayout(8); layout != nil {
+		t.Fatalf("index-less source offered layout %v", layout)
+	}
+	if err := src.IteratePartition(2, 0, func(*record.Record) error { return nil }); err == nil {
+		t.Fatal("index-less source iterated a partition")
+	}
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// Parallelism is the maximum concurrent LLM calls per operator
 	// (default 1 = strictly sequential).
 	Parallelism int
+	// Partitions is the partition fan-out for partitionable scans (an
+	// NDJSON corpus whose manifest carries a byte-offset index): when > 1,
+	// the pipelined engine runs one source+map pipeline per partition —
+	// each with its own range reader and Parallelism-wide worker pools,
+	// modeling shard scale-out — and merges the results back into exact
+	// dataset order. 0/1 keeps the single streaming reader; a plan whose
+	// scan carries its own fan-out hint (ops.PartitionHinter, stamped by
+	// the optimizer) overrides this default.
+	Partitions int
 	// MaxAttempts bounds LLM retries per call (default 3).
 	MaxAttempts int
 	// Backoff is the base retry backoff (default 200ms).
@@ -85,6 +94,9 @@ func NewExecutor(cfg Config) (*Executor, error) {
 	}
 	if cfg.StreamBatchSize < 0 {
 		return nil, fmt.Errorf("exec: stream batch size %d", cfg.StreamBatchSize)
+	}
+	if cfg.Partitions < 0 {
+		return nil, fmt.Errorf("exec: partitions %d", cfg.Partitions)
 	}
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = 1
@@ -171,10 +183,26 @@ func (e *Executor) RunPhysical(phys []ops.Physical) (*Result, error) {
 // RunPhysicalContext is RunPhysical with cancellation: canceling ctx
 // aborts the run between records/batches and returns the context error.
 func (e *Executor) RunPhysicalContext(ctx context.Context, phys []ops.Physical) (*Result, error) {
-	if e.cfg.Parallelism > 1 {
+	if e.usePipelined(phys) {
 		return e.RunPipelinedContext(ctx, phys)
 	}
 	return e.RunSequentialContext(ctx, phys)
+}
+
+// usePipelined selects the streaming engine: configured parallelism or
+// partition fan-out beyond 1, or a plan whose scan carries its own
+// partition hint (a cached plan optimized for fan-out must not silently
+// run sequentially).
+func (e *Executor) usePipelined(phys []ops.Physical) bool {
+	if e.cfg.Parallelism > 1 || e.cfg.Partitions > 1 {
+		return true
+	}
+	if len(phys) > 0 {
+		if h, ok := phys[0].(ops.PartitionHinter); ok && h.PartitionHint() > 1 {
+			return true
+		}
+	}
+	return false
 }
 
 // RunSequential executes the plan one operator at a time with full
@@ -242,8 +270,13 @@ func (e *Executor) ExecuteContext(ctx context.Context, chain []ops.Logical, poli
 	optCtx.Context = ctx
 	// Time-sensitive policies should judge plans by the engine that will
 	// actually run them; an explicit caller request for the streaming
-	// model is honored either way.
-	opts.Pipelined = opts.Pipelined || e.cfg.Parallelism > 1
+	// model is honored either way. The partition fan-out defaults to the
+	// engine's configured value so the optimizer stamps the same count
+	// onto the plan's scan that the engine would fan out to.
+	if opts.Partitions == 0 {
+		opts.Partitions = e.cfg.Partitions
+	}
+	opts.Pipelined = opts.Pipelined || e.cfg.Parallelism > 1 || e.cfg.Partitions > 1 || opts.Partitions > 1
 	opt := optimizer.New(opts)
 	plan, candidates, err := opt.Optimize(chain, policy, optCtx)
 	if err != nil {

@@ -124,6 +124,34 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 		stageCtxs[i] = root.ForOp(i, tallies[i], ops.StageParallelism(op, e.cfg.Parallelism))
 	}
 
+	// Partition fan-out: a plan-carried hint (the optimizer stamps the
+	// scan) wins over the engine default; the source then decides how many
+	// partitions it can actually provide. pplans non-nil selects the
+	// partition-parallel source path below.
+	parts := e.cfg.Partitions
+	if h, ok := phys[0].(ops.PartitionHinter); ok && h.PartitionHint() > 0 {
+		parts = h.PartitionHint()
+	}
+	var pstream ops.PartitionStreamer
+	var pplans []ops.PartitionPlan
+	if parts > 1 {
+		if ps, ok := phys[0].(ops.PartitionStreamer); ok {
+			if plans := ps.PartitionPlans(parts); len(plans) > 1 {
+				pstream, pplans = ps, plans
+			}
+		}
+	}
+	// The partitioned prefix is the scan plus every consecutive streamable
+	// stage: those run once per partition; the first blocking stage (or
+	// the sink) is where the partitions merge. Without fan-out the prefix
+	// is just the source stage.
+	prefixEnd := 1
+	if pstream != nil {
+		for prefixEnd < len(phys) && ops.IsStreamable(phys[prefixEnd]) {
+			prefixEnd++
+		}
+	}
+
 	// chans[i] carries stage i's output batches.
 	chans := make([]chan batch, len(phys))
 	for i := range chans {
@@ -167,50 +195,163 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 	}
 	var wg sync.WaitGroup
 
-	// Source stage: prefer incremental emission (ops.BatchStreamer — a
-	// scan over a file-backed corpus reads and sends one batch at a time,
-	// bounding memory by batch size); otherwise run the scan once and
-	// chunk its materialized output into tagged batches.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		defer close(chans[0])
-		op := phys[0]
-		if bs, ok := op.(ops.BatchStreamer); ok {
-			seq, emitted := 0, 0
-			streamed, err := bs.StreamExecute(stageCtxs[0], size, func(recs []*record.Record) error {
-				if !send(chans[0], batch{seq: seq, recs: recs}) {
-					return cctx.Err() // sends only fail on cancellation
+	// partTallies[p][i] is partition p's stage-i clock in the partitioned
+	// prefix; the run's wall-clock takes the maximum across partitions,
+	// because partitions execute concurrently.
+	var partTallies [][]*simclock.Tally
+
+	switch {
+	case pstream != nil:
+		// Partition-parallel source path: one source+map sub-pipeline per
+		// partition over stages [0, prefixEnd), all feeding the shared
+		// merge channel chans[prefixEnd-1]. Batches carry globally unique
+		// sequence tags precomputed from the partition layout — partition
+		// p's batches start at seqBase[p] — so the seq-tag merge (the
+		// barrier's sort, or the sink's) reassembles exact dataset order
+		// no matter how partition outputs interleave.
+		seqBase := make([]int, len(pplans))
+		next := 0
+		for p, plan := range pplans {
+			seqBase[p] = next
+			next += (plan.Docs + size - 1) / size
+		}
+		// Cumulative per-stage progress across partitions, emitted under
+		// one lock so counts never appear to regress.
+		var progMu sync.Mutex
+		progBatches := make([]int, prefixEnd)
+		progRecords := make([]int, prefixEnd)
+		note := func(stage, recs int) {
+			progMu.Lock()
+			defer progMu.Unlock()
+			progBatches[stage]++
+			progRecords[stage] += recs
+			e.progress(stage, phys[stage], progBatches[stage], progRecords[stage])
+		}
+		// mergeWG counts the goroutines feeding the merge channel; the
+		// closer goroutine shuts it once every partition has drained.
+		var mergeWG sync.WaitGroup
+		partTallies = make([][]*simclock.Tally, len(pplans))
+		for p := range pplans {
+			// Exactly one goroutine per partition feeds the merge channel:
+			// the source itself when the prefix is just the scan, the last
+			// map stage otherwise.
+			mergeWG.Add(1)
+			partTallies[p] = make([]*simclock.Tally, prefixEnd)
+			pctxs := make([]*ops.Ctx, prefixEnd)
+			for i := 0; i < prefixEnd; i++ {
+				partTallies[p][i] = simclock.NewTally(start)
+				pctxs[i] = root.ForOp(i, partTallies[p][i], ops.StageParallelism(phys[i], e.cfg.Parallelism))
+			}
+			// local[i] carries stage i's output within this partition; the
+			// last prefix stage writes the shared merge channel, which
+			// only the closer below may close.
+			local := make([]chan batch, prefixEnd)
+			for i := 0; i < prefixEnd-1; i++ {
+				local[i] = make(chan batch, pipelineDepth)
+			}
+			local[prefixEnd-1] = chans[prefixEnd-1]
+
+			// Partition source: an independent range reader.
+			wg.Add(1)
+			go func(p int, out chan<- batch, sctx *ops.Ctx) {
+				defer wg.Done()
+				if prefixEnd == 1 {
+					defer mergeWG.Done()
+				} else {
+					defer close(out)
 				}
-				seq++
-				emitted += len(recs)
-				e.progress(0, op, seq, emitted)
-				return nil
-			})
-			if streamed {
+				op := phys[0]
+				seq := seqBase[p]
+				err := pstream.StreamPartition(sctx, len(pplans), p, size, func(recs []*record.Record) error {
+					if !send(out, batch{seq: seq, recs: recs}) {
+						return cctx.Err() // sends only fail on cancellation
+					}
+					seq++
+					note(0, len(recs))
+					return nil
+				})
 				if err != nil && cctx.Err() == nil {
 					fail(0, op, err)
-					return
 				}
-				if err == nil && seq == 0 {
-					// Empty dataset: emitBatches' len==0 branch propagates
-					// one empty batch so every downstream stage still
-					// executes and records stats.
-					emitBatches(0, op, chans[0], nil)
-				}
-				return
+			}(p, local[0], pctxs[0])
+
+			// Per-partition map stages: streamable operators applied batch
+			// by batch, preserving the global sequence tags.
+			for i := 1; i < prefixEnd; i++ {
+				wg.Add(1)
+				go func(pos int, in <-chan batch, out chan<- batch, sctx *ops.Ctx) {
+					defer wg.Done()
+					if pos == prefixEnd-1 {
+						defer mergeWG.Done()
+					} else {
+						defer close(out)
+					}
+					op := phys[pos]
+					for b := range in {
+						outRecs, err := op.Execute(sctx, b.recs)
+						if err != nil {
+							fail(pos, op, err)
+							return
+						}
+						if !send(out, batch{seq: b.seq, recs: outRecs}) {
+							return
+						}
+						note(pos, len(outRecs))
+					}
+				}(i, local[i-1], local[i], pctxs[i])
 			}
 		}
-		recs, err := op.Execute(stageCtxs[0], nil)
-		if err != nil {
-			fail(0, op, err)
-			return
-		}
-		emitBatches(0, op, chans[0], recs)
-	}()
+		go func() {
+			mergeWG.Wait()
+			close(chans[prefixEnd-1])
+		}()
 
-	// Interior stages.
-	for i := 1; i < len(phys); i++ {
+	default:
+		// Source stage: prefer incremental emission (ops.BatchStreamer — a
+		// scan over a file-backed corpus reads and sends one batch at a time,
+		// bounding memory by batch size); otherwise run the scan once and
+		// chunk its materialized output into tagged batches.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(chans[0])
+			op := phys[0]
+			if bs, ok := op.(ops.BatchStreamer); ok {
+				seq, emitted := 0, 0
+				streamed, err := bs.StreamExecute(stageCtxs[0], size, func(recs []*record.Record) error {
+					if !send(chans[0], batch{seq: seq, recs: recs}) {
+						return cctx.Err() // sends only fail on cancellation
+					}
+					seq++
+					emitted += len(recs)
+					e.progress(0, op, seq, emitted)
+					return nil
+				})
+				if streamed {
+					if err != nil && cctx.Err() == nil {
+						fail(0, op, err)
+						return
+					}
+					if err == nil && seq == 0 {
+						// Empty dataset: emitBatches' len==0 branch propagates
+						// one empty batch so every downstream stage still
+						// executes and records stats.
+						emitBatches(0, op, chans[0], nil)
+					}
+					return
+				}
+			}
+			recs, err := op.Execute(stageCtxs[0], nil)
+			if err != nil {
+				fail(0, op, err)
+				return
+			}
+			emitBatches(0, op, chans[0], recs)
+		}()
+	}
+
+	// Interior stages downstream of the (possibly partitioned) prefix.
+	for i := prefixEnd; i < len(phys); i++ {
 		wg.Add(1)
 		go func(pos int) {
 			defer wg.Done()
@@ -246,11 +387,11 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 			if cctx.Err() != nil {
 				return
 			}
-			// Each channel currently has a single producer emitting in
-			// ascending seq order, so this sort is a no-op today; the
-			// seq-tag protocol (not arrival order) is the ordering
-			// contract, which keeps determinism locally provable and
-			// leaves room for multi-goroutine stages.
+			// The seq-tag protocol (not arrival order) is the ordering
+			// contract. With a single upstream producer this sort is a
+			// no-op; when the partitioned prefix merges here, partition
+			// outputs interleave freely and the sort restores exact
+			// dataset order via the precomputed global tags.
 			sort.Slice(gathered, func(a, b int) bool { return gathered[a].seq < gathered[b].seq })
 			var all []*record.Record
 			for _, b := range gathered {
@@ -280,8 +421,10 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 	if failErr != nil {
 		return nil, failErr
 	}
-	// As above: single-producer FIFO delivery already orders the batches;
-	// the sort enforces the seq-tag contract rather than relying on it.
+	// As above: with one producer FIFO delivery already orders the
+	// batches; when the partitioned prefix reaches the sink directly the
+	// sort is what merges interleaved partition outputs back into exact
+	// dataset order.
 	sort.Slice(outBatches, func(a, b int) bool { return outBatches[a].seq < outBatches[b].seq })
 	var recs []*record.Record
 	for _, b := range outBatches {
@@ -295,8 +438,21 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 	// Latency (and therefore inside the tallies), while the retry client
 	// additionally sleeps backoff on the shared clock — a diff would
 	// count it twice whenever FailureRate > 0.
+	// Stages of a partitioned prefix ran once per partition, concurrently:
+	// the stage's contribution to the fold is the slowest partition's
+	// clock, which is how fan-out shortens the modeled wall-clock.
 	stageTimes := make([]time.Duration, len(tallies))
 	for i, tl := range tallies {
+		if partTallies != nil && i < prefixEnd {
+			var slowest time.Duration
+			for p := range partTallies {
+				if t := partTallies[p][i].Total(); t > slowest {
+					slowest = t
+				}
+			}
+			stageTimes[i] = slowest
+			continue
+		}
 		stageTimes[i] = tl.Total()
 	}
 	wall := ops.PipelinedWallTime(phys, stageTimes)

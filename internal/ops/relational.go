@@ -13,6 +13,12 @@ import (
 type ScanExec struct {
 	// Source is the dataset to read.
 	Source dataset.Source
+	// Parts is the partition fan-out resolved for this scan (0 = engine
+	// default): when > 1 and the source is partitionable, the pipelined
+	// executor opens that many independent range readers. The optimizer
+	// stamps it from Options.Partitions so cached plans keep their
+	// fan-out.
+	Parts int
 }
 
 // ID implements Physical.
@@ -27,7 +33,9 @@ func (s *ScanExec) Streamable() bool { return true }
 
 // Estimate implements Physical. Scan sets the initial cardinality; the
 // optimizer pre-populates in.Cardinality/AvgTokens from the source, so the
-// estimate passes through.
+// estimate passes through. TimeSec is the sequential model — partition
+// fan-out only shortens the pipelined estimate, which divides the
+// streamable prefix by the effective fan-out (see optimizer).
 func (s *ScanExec) Estimate(in Estimate) Estimate {
 	out := in
 	if out.Quality == 0 {
@@ -61,6 +69,22 @@ func (s *ScanExec) StreamExecute(ctx *Ctx, batchSize int, emit func([]*record.Re
 	if !ok {
 		return false, nil
 	}
+	emitted, err := s.streamBatches(ctx, batchSize, emit, it.IterateRecords)
+	if err != nil {
+		return true, err
+	}
+	if emitted == 0 {
+		// Keep the stats row even for an empty dataset, as Execute does.
+		ctx.Stats.noteBatch(ctx.curOp, s.ID(), s.Kind(), 0, 0)
+	}
+	return true, nil
+}
+
+// streamBatches drives one record iteration, chunking into batches of up
+// to batchSize, noting scan stats per batch — the shared loop of
+// StreamExecute and StreamPartition.
+func (s *ScanExec) streamBatches(ctx *Ctx, batchSize int, emit func([]*record.Record) error,
+	iterate func(func(*record.Record) error) error) (int, error) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -76,7 +100,7 @@ func (s *ScanExec) StreamExecute(ctx *Ctx, batchSize int, emit func([]*record.Re
 		buf = make([]*record.Record, 0, batchSize)
 		return emit(out)
 	}
-	err := it.IterateRecords(func(r *record.Record) error {
+	err := iterate(func(r *record.Record) error {
 		if err := ctx.Canceled(); err != nil {
 			return err
 		}
@@ -89,14 +113,45 @@ func (s *ScanExec) StreamExecute(ctx *Ctx, batchSize int, emit func([]*record.Re
 	if err == nil {
 		err = flush()
 	}
-	if err != nil {
-		return true, err
+	return emitted, err
+}
+
+// PartitionHint implements PartitionHinter.
+func (s *ScanExec) PartitionHint() int { return s.Parts }
+
+// PartitionPlans implements PartitionStreamer: the layout comes from the
+// dataset's PartitionedSource capability (an NDJSON corpus with a
+// manifest partition index). Non-partitionable sources return nil and the
+// engine falls back to the single streaming reader.
+func (s *ScanExec) PartitionPlans(max int) []PartitionPlan {
+	ps, ok := s.Source.(dataset.PartitionedSource)
+	if !ok || max < 2 {
+		return nil
 	}
-	if emitted == 0 {
-		// Keep the stats row even for an empty dataset, as Execute does.
-		ctx.Stats.noteBatch(ctx.curOp, s.ID(), s.Kind(), 0, 0)
+	layout := ps.PartitionLayout(max)
+	if len(layout) < 2 {
+		return nil
 	}
-	return true, nil
+	plans := make([]PartitionPlan, len(layout))
+	for i, docs := range layout {
+		plans[i] = PartitionPlan{Part: i, Docs: docs}
+	}
+	return plans
+}
+
+// StreamPartition implements PartitionStreamer: one independent range
+// reader per partition, batched exactly like StreamExecute. Per-batch
+// statistics across all partitions sum to what the materializing Execute
+// path records.
+func (s *ScanExec) StreamPartition(ctx *Ctx, parts, part, batchSize int, emit func([]*record.Record) error) error {
+	ps, ok := s.Source.(dataset.PartitionedSource)
+	if !ok {
+		return fmt.Errorf("ops: scan source %s is not partitionable", s.Source.Name())
+	}
+	_, err := s.streamBatches(ctx, batchSize, emit, func(yield func(*record.Record) error) error {
+		return ps.IteratePartition(parts, part, yield)
+	})
+	return err
 }
 
 // UDFFilterExec evaluates a Go predicate; zero LLM cost, perfect quality.

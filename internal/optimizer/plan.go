@@ -124,6 +124,13 @@ type Options struct {
 	// segments cost their maximum, not their sum. The executor sets it
 	// when Parallelism > 1 selects the streaming engine.
 	Pipelined bool
+	// Partitions is the partition fan-out to optimize for: when > 1 the
+	// enumerator stamps it onto every scan (ops.ScanExec.Parts), and
+	// pipelined time estimates divide the plan's streamable prefix by the
+	// fan-out the scan's source can actually provide — mirroring the
+	// engine, which runs one source+map pipeline per partition. The
+	// executor defaults it from its own Partitions config.
+	Partitions int
 }
 
 // Optimizer enumerates and ranks physical plans.
@@ -219,6 +226,11 @@ func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib C
 		options := lop.Physical()
 		for _, phys := range options {
 			calib.apply(pos, phys)
+			// Stamp the requested fan-out onto scans so the plan carries
+			// it to the engine (and through the serving plan cache).
+			if sc, ok := phys.(*ops.ScanExec); ok && o.opts.Partitions > 0 {
+				sc.Parts = o.opts.Partitions
+			}
 		}
 		var next []*Plan
 		for _, prefix := range prefixes {
@@ -258,13 +270,25 @@ func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib C
 
 // pipelinedTimeSec models a plan's runtime on the streaming engine: the
 // per-operator time deltas folded by the engine's shared wall-clock model
-// (ops.PipelinedWallTime).
+// (ops.PipelinedWallTime). A partitioned scan fans the plan's streamable
+// prefix out into per-partition pipelines, so those stages' deltas divide
+// by the effective fan-out — the same max-across-partitions model the
+// engine applies to its measured stage clocks.
 func pipelinedTimeSec(p *Plan) float64 {
 	deltas := make([]float64, len(p.Ops))
 	var prev float64
 	for i := range p.Ops {
 		deltas[i] = p.PerOp[i].TimeSec - prev
 		prev = p.PerOp[i].TimeSec
+	}
+	if parts := ops.EffectivePartitions(p.Ops[0]); parts > 1 {
+		f := float64(parts)
+		for i := range p.Ops {
+			if i > 0 && !ops.IsStreamable(p.Ops[i]) {
+				break
+			}
+			deltas[i] /= f
+		}
 	}
 	return ops.PipelinedWallTime(p.Ops, deltas)
 }

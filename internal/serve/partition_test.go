@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/workloads"
+	"repro/pz"
+)
+
+// writeTicketCorpus spills an indexed support corpus to disk.
+func writeTicketCorpus(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tickets.ndjson")
+	g := corpus.NewSupportGenerator(corpus.SupportConfig{NumTickets: n, UrgentRate: 0.3, Seed: 23})
+	if _, err := corpus.SaveNDJSON(path, g, 23, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newTicketContext registers the shared corpus file on a fresh pz.Context
+// configured for partition-parallel scans.
+func newTicketContext(t *testing.T, path string, cfg pz.Config) *pz.Context {
+	t.Helper()
+	ctx, err := pz.NewContext(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.RegisterNDJSON("tickets", path); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestServePartitionedQueriesRace drives concurrent queries against one
+// shared partitioned NDJSON dataset: every query fans its scan out across
+// parallel range readers over the same file, and every response must be
+// byte-identical to a direct Context.Execute of the same spec. Run under
+// `go test -race` (CI does) this exercises the per-partition pipelines,
+// the seq-tag merge, and the shared-file range readers for data races.
+func TestServePartitionedQueriesRace(t *testing.T) {
+	const docs = 180
+	path := writeTicketCorpus(t, docs)
+	cfg := pz.Config{Parallelism: 4, Partitions: 4}
+
+	specFor := func(partitions int) *Spec {
+		return &Spec{
+			Dataset:    DatasetSpec{Name: "tickets"},
+			Ops:        []OpSpec{{Op: "filter", Predicate: workloads.SupportPredicate}},
+			Policy:     "min-cost",
+			Partitions: partitions,
+		}
+	}
+	// Two fan-outs of the same pipeline: the server default (spec 0) and
+	// an explicit per-query override — distinct plan-cache entries whose
+	// results must nevertheless be byte-identical.
+	specs := []*Spec{specFor(0), specFor(8)}
+	wantBytes := make([][]byte, len(specs))
+	for i, spec := range specs {
+		ref := newTicketContext(t, path, cfg)
+		ds, err := spec.Build(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy, err := spec.ParsePolicy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ref.Execute(ds, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The filter must be selective but non-empty; exact equality with
+		// the serving results is asserted below, which is what catches a
+		// broken partition merge (drops, duplicates, reordering).
+		if len(res.Records) == 0 || len(res.Records) >= docs {
+			t.Fatalf("reference run kept %d of %d records", len(res.Records), docs)
+		}
+		raw, err := RecordsJSON(res.Records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes[i] = raw
+	}
+	if !bytes.Equal(wantBytes[0], wantBytes[1]) {
+		t.Fatal("fan-out changed query results in the reference runs")
+	}
+
+	srv, err := New(Config{Context: newTicketContext(t, path, cfg), MaxInflight: 8, MaxQueue: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	runWave := func() {
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				which := i % len(specs)
+				resp, data := postQuery(t, ts.URL, specs[which], true, "")
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query %d: status %d: %s", i, resp.StatusCode, data)
+					return
+				}
+				var view JobView
+				if err := json.Unmarshal(data, &view); err != nil {
+					errs <- err
+					return
+				}
+				if view.Status != StatusDone || view.Result == nil {
+					errs <- fmt.Errorf("query %d: %+v", i, view)
+					return
+				}
+				if !bytes.Equal(view.Result.Records, wantBytes[which]) {
+					errs <- fmt.Errorf("query %d: partitioned results differ from direct Execute", i)
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	}
+	runWave()
+	if t.Failed() {
+		t.FailNow()
+	}
+	runWave()
+
+	// The two fan-outs fingerprint differently, so the cache holds one
+	// plan per fan-out and the second wave hits both.
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.PlanCache.Size != len(specs) {
+		t.Errorf("plan cache holds %d plans, want %d (one per fan-out)", m.PlanCache.Size, len(specs))
+	}
+	if m.PlanCache.Hits == 0 {
+		t.Errorf("no plan-cache hits on repeat partitioned queries: %+v", m.PlanCache)
+	}
+	if m.Counters["queries_done"] != 16 {
+		t.Errorf("queries_done = %d, want 16", m.Counters["queries_done"])
+	}
+}

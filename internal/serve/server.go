@@ -321,7 +321,10 @@ func (s *Server) runJob(parent context.Context, job *Job, ds *pz.Dataset, policy
 		s.cfg.OnJobStart(ctx, job)
 	}
 
-	opts := s.pzctx.OptimizerOptions()
+	// Fingerprint with the dataset's resolved options (partition fan-out
+	// included) so queries optimized for different fan-outs never share a
+	// cached plan.
+	opts := s.pzctx.OptimizerOptionsFor(ds)
 	fp := optimizer.Fingerprint(ds.Chain(), policy, opts)
 	var res *pz.Result
 	var err error

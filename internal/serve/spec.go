@@ -34,6 +34,12 @@ type Spec struct {
 	Policy string `json:"policy,omitempty"`
 	// PolicyParam parameterizes constrained policies (budget, cap, floor).
 	PolicyParam float64 `json:"policy_param,omitempty"`
+	// Partitions requests a partition fan-out for the scan: > 1 splits an
+	// indexed NDJSON dataset across that many parallel range readers
+	// (byte-identical results, merged in dataset order), 1 forces a
+	// single reader, 0 defers to the server's -partitions default.
+	// Non-partitionable datasets ignore the request.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // DatasetSpec identifies a dataset by registered name, or by a local
@@ -111,6 +117,9 @@ func (s *Spec) Build(ctx *pz.Context) (*pz.Dataset, error) {
 		if ds, err = ctx.Dataset(name); err != nil {
 			return nil, err
 		}
+	}
+	if s.Partitions != 0 {
+		ds = ds.WithPartitions(s.Partitions)
 	}
 	for i, op := range s.Ops {
 		ds, err = applyOp(ds, op)

@@ -159,6 +159,15 @@ func Frontier(plans []*Plan) []*Plan { return optimizer.Frontier(plans) }
 type Config struct {
 	// Parallelism is the maximum concurrent LLM calls per operator.
 	Parallelism int
+	// Partitions is the partition fan-out for partitionable scans — an
+	// NDJSON corpus whose manifest carries a byte-offset partition index
+	// (see docs/howto-corpus.md). When > 1 the pipelined engine runs one
+	// source+map pipeline per partition, each reading its own byte range
+	// of the file, and merges results back into exact dataset order, so
+	// outputs stay byte-identical to a sequential scan. 0/1 keeps the
+	// single streaming reader. Dataset.WithPartitions overrides per
+	// pipeline.
+	Partitions int
 	// SampleSize enables sentinel calibration over that many records.
 	SampleSize int
 	// Pruning enables Pareto pruning during plan enumeration.
@@ -200,6 +209,7 @@ type Context struct {
 func NewContext(cfg Config) (*Context, error) {
 	e, err := exec.NewExecutor(exec.Config{
 		Parallelism:     cfg.Parallelism,
+		Partitions:      cfg.Partitions,
 		MaxAttempts:     cfg.MaxAttempts,
 		Backoff:         cfg.Backoff,
 		FailureRate:     cfg.FailureRate,
@@ -303,7 +313,10 @@ func (c *Context) ResetUsage() { c.executor.Service().Reset() }
 type Dataset struct {
 	ctx   *Context
 	chain []ops.Logical
-	err   error
+	// partitions is the pipeline's requested scan fan-out (0 = the
+	// Config.Partitions default; see WithPartitions).
+	partitions int
+	err        error
 }
 
 func (d *Dataset) extend(op ops.Logical) *Dataset {
@@ -312,14 +325,31 @@ func (d *Dataset) extend(op ops.Logical) *Dataset {
 	}
 	chain := make([]ops.Logical, len(d.chain), len(d.chain)+1)
 	copy(chain, d.chain)
-	return &Dataset{ctx: d.ctx, chain: append(chain, op)}
+	return &Dataset{ctx: d.ctx, chain: append(chain, op), partitions: d.partitions}
 }
 
 func (d *Dataset) fail(err error) *Dataset {
 	if d.err != nil {
 		return d
 	}
-	return &Dataset{ctx: d.ctx, chain: d.chain, err: err}
+	return &Dataset{ctx: d.ctx, chain: d.chain, partitions: d.partitions, err: err}
+}
+
+// WithPartitions requests a partition fan-out for this pipeline's scan,
+// overriding Config.Partitions: n > 1 fans a partitionable source (an
+// indexed NDJSON corpus) out across n parallel range readers, n == 1
+// forces the single sequential reader, n == 0 restores the Config
+// default. Non-partitionable sources ignore the request and scan
+// sequentially.
+func (d *Dataset) WithPartitions(n int) *Dataset {
+	if n < 0 {
+		return d.fail(fmt.Errorf("pz: negative partition fan-out %d", n))
+	}
+	if d.err != nil {
+		return d
+	}
+	out := &Dataset{ctx: d.ctx, chain: d.chain, partitions: n}
+	return out
 }
 
 // Filter keeps records satisfying a natural-language predicate.
@@ -456,6 +486,7 @@ func (c *Context) ExecuteContext(ctx context.Context, d *Dataset, policy Policy)
 	res, err := c.executor.ExecuteContext(ctx, d.chain, policy, optimizer.Options{
 		Pruning:    c.cfg.Pruning,
 		SampleSize: c.cfg.SampleSize,
+		Partitions: d.partitions,
 	})
 	if err != nil {
 		return nil, err
@@ -478,15 +509,33 @@ func (c *Context) ExecutePlanContext(ctx context.Context, plan *Plan, policyDesc
 type OptimizerOptions = optimizer.Options
 
 // OptimizerOptions returns the options ExecuteContext hands the optimizer,
-// with the engine choice resolved (Pipelined reflects Parallelism). The
-// serving layer fingerprints queries with these so cached plans are only
-// reused under identical optimization settings.
+// with the engine choice resolved (Pipelined reflects Parallelism and the
+// partition fan-out). The serving layer fingerprints queries with these so
+// cached plans are only reused under identical optimization settings.
 func (c *Context) OptimizerOptions() OptimizerOptions {
 	return optimizer.Options{
 		Pruning:    c.cfg.Pruning,
 		SampleSize: c.cfg.SampleSize,
-		Pipelined:  c.cfg.Parallelism > 1,
+		Partitions: c.cfg.Partitions,
+		Pipelined:  c.cfg.Parallelism > 1 || c.cfg.Partitions > 1,
 	}
+}
+
+// OptimizerOptionsFor is OptimizerOptions with the dataset's per-pipeline
+// overrides applied (WithPartitions) — the exact options ExecuteContext
+// will resolve for d, which is what the serving layer must fingerprint so
+// queries with different fan-outs never share a cached plan.
+func (c *Context) OptimizerOptionsFor(d *Dataset) OptimizerOptions {
+	o := c.OptimizerOptions()
+	if d != nil && d.partitions != 0 {
+		o.Partitions = d.partitions
+		// Mirrors the executor's resolution: a per-pipeline fan-out
+		// request selects the streaming model, and a context-level one
+		// keeps it selected even when the pipeline opts back down to a
+		// single reader.
+		o.Pipelined = o.Pipelined || d.partitions > 1
+	}
+	return o
 }
 
 func wrapResult(res *exec.Result) *Result {
