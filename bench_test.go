@@ -8,6 +8,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/exec"
 	"repro/internal/experiments"
@@ -539,6 +541,138 @@ func BenchmarkShardScale(b *testing.B) {
 		if speedup < 2 {
 			b.Fatalf("sharded speedup %.2fx < 2x at P=%d (single %v, sharded %v)",
 				speedup, partitions, single.Elapsed, res.Elapsed)
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(docs*b.N)/secs, "docs/s")
+		}
+		b.ReportMetric(res.Elapsed.Seconds(), "sim_s")
+		b.ReportMetric(float64(len(res.Records)), "records")
+		b.ReportMetric(speedup, "speedup_x")
+	})
+}
+
+// BenchmarkClusterScale is the coordinator/worker scatter-gather pair:
+// the same max-quality filter over a 100k-document indexed NDJSON corpus,
+// scattered across 8 partitions once over a single in-process worker and
+// once over four. Workers execute their assigned partitions serially and
+// in parallel with each other, so on the simulated cluster clock the
+// 4-worker scatter must approach linear scaling (>= 3x) over the single
+// worker while staying byte-identical to the sequential single-process
+// scan; the CI smoke step records this benchmark's output as
+// BENCH_cluster.json.
+func BenchmarkClusterScale(b *testing.B) {
+	const docs = 100_000
+	const partitions = 8
+	cfg := corpus.SupportConfig{NumTickets: docs, UrgentRate: 0.3, Seed: 29}
+	path := filepath.Join(b.TempDir(), "support.ndjson")
+	m, err := corpus.SaveNDJSON(path, corpus.NewSupportGenerator(cfg), cfg.Seed, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.Index == nil {
+		b.Fatal("writer produced no partition index")
+	}
+
+	newContext := func() *pz.Context {
+		ctx, err := pz.NewContext(pz.Config{Parallelism: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctx.RegisterNDJSON("tickets", path); err != nil {
+			b.Fatal(err)
+		}
+		return ctx
+	}
+	spec := &serve.Spec{
+		Dataset:    serve.DatasetSpec{Name: "tickets"},
+		Ops:        []serve.OpSpec{{Op: "filter", Predicate: workloads.SupportPredicate}},
+		Policy:     "max-quality",
+		Partitions: partitions,
+	}
+
+	// Sequential single-process ground truth.
+	seqCtx := newContext()
+	ds, err := seqCtx.Dataset("tickets")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := seqCtx.Execute(ds.Filter(workloads.SupportPredicate), pz.MaxQuality())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqJSON, err := serve.RecordsJSON(seq.Records)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	scatter := func(b *testing.B, workers int) *serve.DistResult {
+		b.Helper()
+		reg := cluster.NewRegistry(cluster.RegistryConfig{})
+		for w := 0; w < workers; w++ {
+			wk, err := cluster.NewWorker(cluster.WorkerConfig{
+				Name: fmt.Sprintf("w%d", w), Parallelism: 8, ChunkSize: 4096,
+				Datasets: map[string]string{"tickets": path},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := httptest.NewServer(wk.Handler())
+			b.Cleanup(srv.Close)
+			if err := reg.Register(fmt.Sprintf("w%d", w), srv.URL); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Generous timeouts: the scaling measurement is on the simulated
+		// clock, and wall-clock jitter must not trigger re-issues.
+		coord, err := cluster.NewCoordinator(cluster.Config{
+			Registry: reg, Parallelism: 8,
+			PartitionTimeout: 5 * time.Minute, StragglerAfter: 5 * time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dres, ok, err := coord.TryExecute(context.Background(), newContext(), spec, partitions)
+		if err != nil || !ok {
+			b.Fatalf("TryExecute(workers=%d): ok=%v err=%v", workers, ok, err)
+		}
+		got, err := serve.RecordsJSON(dres.Records)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(got, seqJSON) {
+			b.Fatalf("scattered results (workers=%d) are not byte-identical to the sequential scan (%d vs %d records)",
+				workers, len(dres.Records), len(seq.Records))
+		}
+		return dres
+	}
+
+	single := scatter(b, 1)
+	b.Run("workers=1", func(b *testing.B) {
+		var res *serve.DistResult
+		for i := 0; i < b.N; i++ {
+			res = scatter(b, 1)
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(docs*b.N)/secs, "docs/s")
+		}
+		b.ReportMetric(res.Elapsed.Seconds(), "sim_s")
+		b.ReportMetric(float64(len(res.Records)), "records")
+	})
+	b.Run("workers=4", func(b *testing.B) {
+		var res *serve.DistResult
+		for i := 0; i < b.N; i++ {
+			res = scatter(b, 4)
+		}
+		b.StopTimer()
+		speedup := single.Elapsed.Seconds() / res.Elapsed.Seconds()
+		if speedup < 3 {
+			b.Fatalf("cluster speedup %.2fx < 3x at 4 workers (1 worker %v, 4 workers %v)",
+				speedup, single.Elapsed, res.Elapsed)
+		}
+		if res.Workers != 4 || res.Partitions != partitions {
+			b.Fatalf("scatter ran on %d workers / %d partitions, want 4/%d",
+				res.Workers, res.Partitions, partitions)
 		}
 		if secs := b.Elapsed().Seconds(); secs > 0 {
 			b.ReportMetric(float64(docs*b.N)/secs, "docs/s")

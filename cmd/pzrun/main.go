@@ -83,6 +83,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if opts.parallelism < 1 {
+		fmt.Fprintf(os.Stderr, "pzrun: -parallelism must be >= 1, got %d\n", opts.parallelism)
+		os.Exit(2)
+	}
+	if opts.partitions < 0 {
+		fmt.Fprintf(os.Stderr, "pzrun: -partitions must be >= 0, got %d\n", opts.partitions)
+		os.Exit(2)
+	}
 	if err := run(*specPath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pzrun:", err)
 		os.Exit(1)

@@ -11,6 +11,16 @@
 //	        [-max-inflight 8] [-max-queue 16] [-plan-cache 128]
 //	        [-llm-cache=true] [-llm-cache-capacity 4096]
 //	        [-budget 0] [-tenant-budget alice=1.50]
+//	        [-cluster] [-worker w1=http://host:8078]
+//	        [-health-interval 5s] [-partition-timeout 60s]
+//	        [-partition-retries 3] [-straggler-after 30s]
+//
+// With -cluster (or any static -worker registration) pzserve also acts as
+// the coordinator of a scatter/gather cluster (see internal/cluster):
+// pzworker daemons register under /v1/workers, and partitioned queries over
+// indexed NDJSON datasets are scattered across the healthy pool, with
+// failed or straggling partitions retried and a graceful local fallback
+// when no workers are available.
 //
 // API:
 //
@@ -18,8 +28,11 @@
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        job status and result
 //	POST /v1/jobs/{id}/cancel abort a job
-//	GET  /metrics             serving counters, caches, tenants
+//	GET  /metrics             serving counters, caches, tenants, cluster
 //	GET  /healthz             liveness
+//	POST /v1/workers/register worker self-registration (cluster mode)
+//	POST /v1/workers/deregister
+//	GET  /v1/workers          healthy worker pool (cluster mode)
 //
 // The spec format is the same JSON cmd/pzrun reads (see internal/serve);
 // the submitting tenant comes from the X-PZ-Tenant header ("default" when
@@ -38,7 +51,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/pz"
 )
@@ -55,7 +71,21 @@ func main() {
 	llmCache := flag.Bool("llm-cache", true, "memoize LLM responses across queries")
 	llmCacheCap := flag.Int("llm-cache-capacity", 4096, "LLM cache entry bound (0 = unbounded)")
 	budget := flag.Float64("budget", 0, "default per-tenant cost budget in USD (0 = unlimited)")
+	clusterMode := flag.Bool("cluster", false, "act as a scatter/gather coordinator (mounts /v1/workers; implied by -worker)")
+	healthInterval := flag.Duration("health-interval", 5*time.Second, "worker health-check probe interval (cluster mode)")
+	partitionTimeout := flag.Duration("partition-timeout", 60*time.Second, "per-partition worker request timeout (cluster mode)")
+	partitionRetries := flag.Int("partition-retries", 3, "max attempts per partition before forcing local execution (cluster mode)")
+	stragglerAfter := flag.Duration("straggler-after", 30*time.Second, "re-issue a partition still in flight after this long (cluster mode)")
 
+	workers := map[string]string{}
+	flag.Func("worker", "name=url static worker registration; implies -cluster (repeatable)", func(v string) error {
+		name, url, ok := strings.Cut(v, "=")
+		if !ok || name == "" || url == "" {
+			return fmt.Errorf("want name=url, got %q", v)
+		}
+		workers[name] = url
+		return nil
+	})
 	datasets := map[string]string{}
 	flag.Func("dataset", "name=path dataset registration: a folder, or an .ndjson corpus file (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -84,6 +114,9 @@ func main() {
 		parallelism: *parallelism, partitions: *partitions, batch: *batch, sample: *sample,
 		maxInflight: *maxInflight, maxQueue: *maxQueue, planCache: *planCache,
 		llmCache: *llmCache, llmCacheCap: *llmCacheCap, budget: *budget,
+		cluster: *clusterMode || len(workers) > 0, workers: workers,
+		healthInterval: *healthInterval, partitionTimeout: *partitionTimeout,
+		partitionRetries: *partitionRetries, stragglerAfter: *stragglerAfter,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pzserve:", err)
 		os.Exit(1)
@@ -97,9 +130,24 @@ type serveOptions struct {
 	llmCache                         bool
 	llmCacheCap                      int
 	budget                           float64
+
+	cluster                          bool
+	workers                          map[string]string
+	healthInterval, partitionTimeout time.Duration
+	stragglerAfter                   time.Duration
+	partitionRetries                 int
 }
 
 func run(addr string, datasets map[string]string, budgets map[string]float64, opts serveOptions) error {
+	if opts.parallelism < 1 {
+		return fmt.Errorf("-parallelism must be >= 1, got %d", opts.parallelism)
+	}
+	if opts.partitions < 0 {
+		return fmt.Errorf("-partitions must be >= 0, got %d", opts.partitions)
+	}
+	if opts.cluster && opts.partitionRetries < 1 {
+		return fmt.Errorf("-partition-retries must be >= 1, got %d", opts.partitionRetries)
+	}
 	ctx, err := pz.NewContext(pz.Config{
 		Parallelism:     opts.parallelism,
 		Partitions:      opts.partitions,
@@ -130,18 +178,60 @@ func run(addr string, datasets map[string]string, budgets map[string]float64, op
 		}
 		log.Printf("pzserve: registered dataset %q from %s", name, path)
 	}
-	srv, err := serve.New(serve.Config{
+	counters := metrics.NewCounters()
+	var reg *cluster.Registry
+	var coord *cluster.Coordinator
+	if opts.cluster {
+		reg = cluster.NewRegistry(cluster.RegistryConfig{Counters: counters})
+		for name, url := range opts.workers {
+			if err := reg.Register(name, url); err != nil {
+				return fmt.Errorf("worker %q: %w", name, err)
+			}
+			log.Printf("pzserve: registered static worker %q at %s", name, url)
+		}
+		coord, err = cluster.NewCoordinator(cluster.Config{
+			Registry:         reg,
+			Counters:         counters,
+			Parallelism:      opts.parallelism,
+			MaxAttempts:      opts.partitionRetries,
+			PartitionTimeout: opts.partitionTimeout,
+			StragglerAfter:   opts.stragglerAfter,
+		})
+		if err != nil {
+			return err
+		}
+		reg.StartHealthLoop(opts.healthInterval)
+		defer reg.Stop()
+	}
+
+	cfg := serve.Config{
 		Context:          ctx,
 		MaxInflight:      opts.maxInflight,
 		MaxQueue:         opts.maxQueue,
 		PlanCacheSize:    opts.planCache,
 		DefaultBudgetUSD: opts.budget,
 		TenantBudgets:    budgets,
-	})
+		Counters:         counters,
+	}
+	if coord != nil {
+		cfg.Cluster = coord
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	if reg != nil {
+		// The registry's worker-management endpoints share the serving
+		// API's address space; everything else falls through to the
+		// query-serving handler.
+		mux := http.NewServeMux()
+		mux.Handle("/v1/workers", cluster.RegistryHandler(reg))
+		mux.Handle("/v1/workers/", cluster.RegistryHandler(reg))
+		mux.Handle("/", srv.Handler())
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -152,8 +242,12 @@ func run(addr string, datasets map[string]string, budgets map[string]float64, op
 		_ = httpSrv.Shutdown(context.Background())
 	}()
 
-	log.Printf("pzserve: serving on %s (inflight=%d queue=%d plan-cache=%d)",
-		addr, opts.maxInflight, opts.maxQueue, opts.planCache)
+	mode := "standalone"
+	if opts.cluster {
+		mode = fmt.Sprintf("cluster coordinator (%d static workers)", len(opts.workers))
+	}
+	log.Printf("pzserve: serving on %s (inflight=%d queue=%d plan-cache=%d, %s)",
+		addr, opts.maxInflight, opts.maxQueue, opts.planCache, mode)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}

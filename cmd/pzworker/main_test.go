@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+)
+
+func writeCorpus(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tickets.ndjson")
+	g := corpus.NewSupportGenerator(corpus.SupportConfig{NumTickets: 10, UrgentRate: 0.3, Seed: 7})
+	if _, err := corpus.SaveNDJSON(path, g, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestRunValidation(t *testing.T) {
+	path := writeCorpus(t)
+	dir := t.TempDir()
+	notNDJSON := filepath.Join(dir, "x.txt")
+	if err := os.WriteFile(notNDJSON, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := map[string]string{"tickets": path}
+	cases := []struct {
+		name        string
+		datasets    map[string]string
+		parallelism int
+		chunk       int
+		heartbeat   time.Duration
+	}{
+		{"zero parallelism", ok, 0, 8, time.Second},
+		{"zero chunk", ok, 1, 0, time.Second},
+		{"zero heartbeat", ok, 1, 8, 0},
+		{"no datasets", nil, 1, 8, time.Second},
+		{"missing file", map[string]string{"x": filepath.Join(dir, "nope.ndjson")}, 1, 8, time.Second},
+		{"directory", map[string]string{"x": dir}, 1, 8, time.Second},
+		{"not ndjson", map[string]string{"x": notNDJSON}, 1, 8, time.Second},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(":0", "w", "", "", c.datasets, c.parallelism, c.chunk, c.heartbeat)
+			if err == nil {
+				t.Fatal("run accepted invalid configuration")
+			}
+		})
+	}
+}
+
+func TestRegisterAgainstBrokenCoordinator(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	if err := register(srv.URL, "w", "http://127.0.0.1:1"); err == nil {
+		t.Fatal("register swallowed a coordinator error")
+	}
+	if err := deregister(srv.URL, "w"); err == nil {
+		t.Fatal("deregister swallowed a coordinator error")
+	}
+	path := writeCorpus(t)
+	err := run(freeAddr(t), "w", srv.URL, "", map[string]string{"tickets": path}, 1, 8, time.Second)
+	if err == nil {
+		t.Fatal("run started despite failed registration")
+	}
+}
+
+// TestWorkerLifecycle drives the daemon end to end: self-registration
+// with a coordinator registry, heartbeat re-registration, serving
+// /healthz, and deregistration + graceful shutdown on interrupt.
+func TestWorkerLifecycle(t *testing.T) {
+	path := writeCorpus(t)
+	reg := cluster.NewRegistry(cluster.RegistryConfig{})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/workers", cluster.RegistryHandler(reg))
+	mux.Handle("/v1/workers/", cluster.RegistryHandler(reg))
+	coord := httptest.NewServer(mux)
+	defer coord.Close()
+
+	addr := freeAddr(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, "w1", coord.URL, "http://"+addr,
+			map[string]string{"tickets": path}, 1, 8, 20*time.Millisecond)
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := reg.Len(); got != 1 {
+		t.Fatalf("registry has %d workers after startup, want 1", got)
+	}
+	// Outlive a couple of heartbeat intervals: re-registration must keep
+	// the worker present, not duplicate or drop it.
+	time.Sleep(60 * time.Millisecond)
+	if got := reg.Len(); got != 1 {
+		t.Fatalf("registry has %d workers after heartbeats, want 1", got)
+	}
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not shut down on interrupt")
+	}
+	if got := reg.Len(); got != 0 {
+		t.Fatalf("registry has %d workers after shutdown, want 0 (deregistered)", got)
+	}
+}
+
+func TestDefaultNameAndAdvertise(t *testing.T) {
+	// A bare ":port" addr synthesizes a name; exercised via the error-free
+	// prefix of run against a coordinator that rejects everything, so run
+	// fails fast at registration after the defaults are applied.
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusTeapot)
+	}))
+	defer srv.Close()
+	path := writeCorpus(t)
+	err := run(":18099", "", srv.URL, "", map[string]string{"tickets": path}, 1, 8, time.Second)
+	if err == nil {
+		t.Fatal("run ignored registration failure")
+	}
+	if want := fmt.Sprintf("status %d", http.StatusTeapot); !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want registration %s", err, want)
+	}
+}

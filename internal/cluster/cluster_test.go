@@ -1,0 +1,685 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+	"repro/pz"
+)
+
+// writeTicketCorpus spills an indexed support corpus to disk.
+func writeTicketCorpus(t testing.TB, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tickets.ndjson")
+	g := corpus.NewSupportGenerator(corpus.SupportConfig{NumTickets: n, UrgentRate: 0.3, Seed: 23})
+	if _, err := corpus.SaveNDJSON(path, g, 23, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// ticketSpec builds a partitioned triage query: the urgency filter plus
+// any extra (suffix) operators. Max-quality picks an LLM filter, which is
+// record-wise and therefore distributable (min-cost's adaptive
+// embed-filter is not — see TestNonStreamableChampionDeclines).
+func ticketSpec(partitions int, extra ...serve.OpSpec) *serve.Spec {
+	ops := append([]serve.OpSpec{{Op: "filter", Predicate: workloads.SupportPredicate}}, extra...)
+	return &serve.Spec{
+		Dataset:    serve.DatasetSpec{Name: "tickets"},
+		Ops:        ops,
+		Policy:     "max-quality",
+		Partitions: partitions,
+	}
+}
+
+// coordinatorContext registers the corpus on a fresh coordinator-side
+// pz.Context.
+func coordinatorContext(t testing.TB, path string) *pz.Context {
+	t.Helper()
+	ctx, err := pz.NewContext(pz.Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.RegisterNDJSON("tickets", path); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// sequentialJSON is the ground truth: the same spec run single-process on
+// a fresh context, rendered through the serving layer's record encoding.
+func sequentialJSON(t testing.TB, path string, spec *serve.Spec) []byte {
+	t.Helper()
+	ctx := coordinatorContext(t, path)
+	seq := *spec
+	seq.Partitions = 0
+	ds, err := seq.Build(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := seq.ParsePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctx.Execute(ds, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := serve.RecordsJSON(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// distributedJSON renders a DistResult through the same encoding.
+func distributedJSON(t testing.TB, dres *serve.DistResult) []byte {
+	t.Helper()
+	raw, err := serve.RecordsJSON(dres.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// startWorker brings up one in-process worker over the shared corpus file,
+// optionally wrapping its handler (fault injection), and registers it.
+func startWorker(t testing.TB, reg *Registry, name, path string, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{Name: name, Parallelism: 2, ChunkSize: 16,
+		Datasets: map[string]string{"tickets": path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := http.Handler(w.Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	if err := reg.Register(name, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func newTestCoordinator(t testing.TB, reg *Registry, cfg Config) *Coordinator {
+	t.Helper()
+	cfg.Registry = reg
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 2
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestScatterGatherParity: a query scattered across two workers returns
+// records byte-identical, in identical order, to the single-process
+// sequential scan.
+func TestScatterGatherParity(t *testing.T) {
+	path := writeTicketCorpus(t, 120)
+	reg := NewRegistry(RegistryConfig{})
+	startWorker(t, reg, "a", path, nil)
+	startWorker(t, reg, "b", path, nil)
+	coord := newTestCoordinator(t, reg, Config{})
+
+	spec := ticketSpec(6)
+	want := sequentialJSON(t, path, spec)
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), spec, 6)
+	if err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+	if got := distributedJSON(t, dres); !bytes.Equal(got, want) {
+		t.Fatalf("distributed records diverge from sequential scan:\n got %s\nwant %s", got, want)
+	}
+	if dres.Workers != 2 || dres.Partitions != 6 {
+		t.Errorf("DistResult workers=%d partitions=%d, want 2/6", dres.Workers, dres.Partitions)
+	}
+	if dres.Elapsed <= 0 || dres.CostUSD <= 0 {
+		t.Errorf("missing accounting: elapsed=%v cost=%v", dres.Elapsed, dres.CostUSD)
+	}
+	c := reg.Counters()
+	if c.Get("cluster_partitions_scattered") != 6 {
+		t.Errorf("cluster_partitions_scattered = %d, want 6", c.Get("cluster_partitions_scattered"))
+	}
+	if c.Get("cluster_queries_distributed") != 1 {
+		t.Errorf("cluster_queries_distributed = %d, want 1", c.Get("cluster_queries_distributed"))
+	}
+}
+
+// TestScatterGatherSuffixOps: non-distributable operators (limit is
+// order-sensitive) run on the coordinator over the merged prefix output,
+// and the end result still matches the sequential run exactly.
+func TestScatterGatherSuffixOps(t *testing.T) {
+	path := writeTicketCorpus(t, 90)
+	reg := NewRegistry(RegistryConfig{})
+	startWorker(t, reg, "a", path, nil)
+	startWorker(t, reg, "b", path, nil)
+	coord := newTestCoordinator(t, reg, Config{})
+
+	spec := ticketSpec(4, serve.OpSpec{Op: "limit", N: 7})
+	want := sequentialJSON(t, path, spec)
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), spec, 4)
+	if err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+	if got := distributedJSON(t, dres); !bytes.Equal(got, want) {
+		t.Fatalf("suffix result diverges from sequential scan:\n got %s\nwant %s", got, want)
+	}
+	if !strings.Contains(dres.Plan, "1 suffix") {
+		t.Errorf("plan %q does not report the suffix split", dres.Plan)
+	}
+}
+
+// abortAfterPartialChunk kills the first n /v1/partition requests after
+// streaming one incomplete chunk — a worker dying mid-partition.
+func abortAfterPartialChunk(n int) func(http.Handler) http.Handler {
+	var mu sync.Mutex
+	killed := 0
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/v1/partition") {
+				mu.Lock()
+				kill := killed < n
+				if kill {
+					killed++
+				}
+				mu.Unlock()
+				if kill {
+					rw.Header().Set("Content-Type", "application/x-ndjson")
+					rw.WriteHeader(http.StatusOK)
+					fmt.Fprintln(rw, `{"seq":0,"records":[]}`)
+					if f, ok := rw.(http.Flusher); ok {
+						f.Flush()
+					}
+					panic(http.ErrAbortHandler)
+				}
+			}
+			next.ServeHTTP(rw, r)
+		})
+	}
+}
+
+// TestWorkerDeathMidPartition: a worker that dies mid-stream (truncated
+// chunk stream, no terminal done chunk) triggers a re-scatter, and the
+// final result is still byte-identical to the sequential scan.
+func TestWorkerDeathMidPartition(t *testing.T) {
+	path := writeTicketCorpus(t, 80)
+	reg := NewRegistry(RegistryConfig{})
+	startWorker(t, reg, "a", path, abortAfterPartialChunk(2))
+	startWorker(t, reg, "b", path, nil)
+	coord := newTestCoordinator(t, reg, Config{})
+
+	spec := ticketSpec(4)
+	want := sequentialJSON(t, path, spec)
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), spec, 4)
+	if err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+	if got := distributedJSON(t, dres); !bytes.Equal(got, want) {
+		t.Fatalf("result after worker death diverges:\n got %s\nwant %s", got, want)
+	}
+	c := reg.Counters()
+	if c.Get("cluster_partition_failures") < 2 {
+		t.Errorf("cluster_partition_failures = %d, want >= 2", c.Get("cluster_partition_failures"))
+	}
+	if c.Get("cluster_partitions_rescattered") < 2 {
+		t.Errorf("cluster_partitions_rescattered = %d, want >= 2", c.Get("cluster_partitions_rescattered"))
+	}
+}
+
+// TestNonStreamableChampionDeclines: a min-cost triage query optimizes to
+// the adaptive embed-filter, which thresholds on whole-batch statistics —
+// partitioning it would change the kept set, so the coordinator must
+// refuse to scatter and let the query run locally.
+func TestNonStreamableChampionDeclines(t *testing.T) {
+	path := writeTicketCorpus(t, 60)
+	reg := NewRegistry(RegistryConfig{})
+	startWorker(t, reg, "a", path, nil)
+	coord := newTestCoordinator(t, reg, Config{})
+
+	spec := ticketSpec(4)
+	spec.Policy = "min-cost"
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), spec, 4)
+	if err != nil || ok || dres != nil {
+		t.Fatalf("non-streamable champion: dres=%v ok=%v err=%v, want decline", dres, ok, err)
+	}
+	if got := reg.Counters().Get("cluster_queries_not_streamable"); got != 1 {
+		t.Errorf("cluster_queries_not_streamable = %d, want 1", got)
+	}
+}
+
+// TestEmptyPoolDeclines: with no registered workers the coordinator
+// declines the query (ok=false) so the serving layer runs it locally.
+func TestEmptyPoolDeclines(t *testing.T) {
+	path := writeTicketCorpus(t, 40)
+	reg := NewRegistry(RegistryConfig{})
+	coord := newTestCoordinator(t, reg, Config{})
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), ticketSpec(4), 4)
+	if err != nil || ok || dres != nil {
+		t.Fatalf("empty pool: dres=%v ok=%v err=%v, want nil/false/nil", dres, ok, err)
+	}
+	if got := reg.Counters().Get("cluster_queries_local_fallback"); got != 1 {
+		t.Errorf("cluster_queries_local_fallback = %d, want 1", got)
+	}
+}
+
+// TestAllWorkersLostLocalFallback: when the only worker fails and is
+// deregistered mid-query, the coordinator finishes every partition
+// locally — the query completes, byte-identical, with zero workers.
+func TestAllWorkersLostLocalFallback(t *testing.T) {
+	path := writeTicketCorpus(t, 60)
+	reg := NewRegistry(RegistryConfig{MaxFailures: 1})
+	broken := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/v1/partition") {
+				writeError(rw, http.StatusInternalServerError, fmt.Errorf("synthetic worker crash"))
+				return
+			}
+			next.ServeHTTP(rw, r)
+		})
+	}
+	startWorker(t, reg, "a", path, broken)
+	coord := newTestCoordinator(t, reg, Config{})
+
+	spec := ticketSpec(4)
+	want := sequentialJSON(t, path, spec)
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), spec, 4)
+	if err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+	if got := distributedJSON(t, dres); !bytes.Equal(got, want) {
+		t.Fatalf("local-fallback result diverges:\n got %s\nwant %s", got, want)
+	}
+	if dres.Workers != 0 {
+		t.Errorf("DistResult workers = %d, want 0 (pool drained)", dres.Workers)
+	}
+	c := reg.Counters()
+	if c.Get("cluster_workers_lost") != 1 {
+		t.Errorf("cluster_workers_lost = %d, want 1", c.Get("cluster_workers_lost"))
+	}
+	if c.Get("cluster_partitions_local") != 4 {
+		t.Errorf("cluster_partitions_local = %d, want 4", c.Get("cluster_partitions_local"))
+	}
+	if reg.Len() != 0 {
+		t.Errorf("registry still has %d workers", reg.Len())
+	}
+}
+
+// TestCancellationPropagates: canceling the coordinator's context aborts
+// the scatter promptly and cancels the in-flight worker request.
+func TestCancellationPropagates(t *testing.T) {
+	path := writeTicketCorpus(t, 60)
+	reg := NewRegistry(RegistryConfig{})
+	unblocked := make(chan struct{}, 8)
+	hang := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/v1/partition") {
+				// Consume the request the way a real worker does (decode,
+				// then execute): the server only watches for client
+				// disconnects once the body has been read.
+				_, _ = io.Copy(io.Discard, r.Body)
+				<-r.Context().Done()
+				unblocked <- struct{}{}
+				return
+			}
+			next.ServeHTTP(rw, r)
+		})
+	}
+	startWorker(t, reg, "a", path, hang)
+	coord := newTestCoordinator(t, reg, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := coord.TryExecute(ctx, coordinatorContext(t, path), ticketSpec(4), 4)
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("canceled scatter returned err=%v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to unwind", elapsed)
+	}
+	select {
+	case <-unblocked:
+		// The worker saw the request context die: cancellation crossed the
+		// wire to the in-flight partition.
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight worker request never observed cancellation")
+	}
+}
+
+// TestStragglerReissue: a partition stuck on a slow worker is
+// speculatively re-issued, the fast duplicate wins, and the output stays
+// byte-identical.
+func TestStragglerReissue(t *testing.T) {
+	path := writeTicketCorpus(t, 80)
+	reg := NewRegistry(RegistryConfig{})
+	slow := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/v1/partition") {
+				time.Sleep(600 * time.Millisecond)
+			}
+			next.ServeHTTP(rw, r)
+		})
+	}
+	startWorker(t, reg, "a", path, slow)
+	startWorker(t, reg, "b", path, nil)
+	coord := newTestCoordinator(t, reg, Config{StragglerAfter: 100 * time.Millisecond})
+
+	spec := ticketSpec(4)
+	want := sequentialJSON(t, path, spec)
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), spec, 4)
+	if err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+	if got := distributedJSON(t, dres); !bytes.Equal(got, want) {
+		t.Fatalf("straggler run diverges:\n got %s\nwant %s", got, want)
+	}
+	if got := reg.Counters().Get("cluster_straggler_reissues"); got < 1 {
+		t.Errorf("cluster_straggler_reissues = %d, want >= 1", got)
+	}
+}
+
+// TestRegistryLifecycle: heartbeats reset failure counts, and MaxFailures
+// consecutive failures deregister a worker as lost.
+func TestRegistryLifecycle(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{MaxFailures: 3})
+	if err := reg.Register("", "http://x"); err == nil {
+		t.Error("nameless registration accepted")
+	}
+	if err := reg.Register("w", "not a url"); err == nil {
+		t.Error("invalid URL accepted")
+	}
+	if err := reg.Register("w", "http://localhost:9"); err != nil {
+		t.Fatal(err)
+	}
+	reg.NoteFailure("w")
+	reg.NoteFailure("w")
+	if v := reg.Views(); len(v) != 1 || v[0].Failures != 2 {
+		t.Fatalf("views = %+v, want one worker with 2 failures", v)
+	}
+	// Re-registration is the heartbeat: the failure count resets.
+	if err := reg.Register("w", "http://localhost:9"); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Views(); v[0].Failures != 0 {
+		t.Fatalf("heartbeat did not reset failures: %+v", v)
+	}
+	for i := 0; i < 3; i++ {
+		reg.NoteFailure("w")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("worker survived MaxFailures consecutive failures")
+	}
+	c := reg.Counters()
+	if c.Get("cluster_workers_lost") != 1 || c.Get("cluster_workers_registered") != 1 {
+		t.Errorf("counters = %v", c.Snapshot())
+	}
+	if c.Get("cluster_workers_healthy") != 0 {
+		t.Errorf("healthy gauge = %d, want 0", c.Get("cluster_workers_healthy"))
+	}
+}
+
+// TestRegistryHealthChecks: CheckOnce keeps responsive workers and
+// deregisters dead ones through the shared failure accounting.
+func TestRegistryHealthChecks(t *testing.T) {
+	alive := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	defer alive.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	reg := NewRegistry(RegistryConfig{MaxFailures: 1, CheckTimeout: 500 * time.Millisecond})
+	if err := reg.Register("alive", alive.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("dead", deadURL); err != nil {
+		t.Fatal(err)
+	}
+	reg.CheckOnce()
+	refs := reg.Healthy()
+	if len(refs) != 1 || refs[0].Name != "alive" {
+		t.Fatalf("healthy pool after check = %+v, want [alive]", refs)
+	}
+	c := reg.Counters()
+	if c.Get("cluster_health_check_failures") != 1 || c.Get("cluster_workers_lost") != 1 {
+		t.Errorf("counters = %v", c.Snapshot())
+	}
+	if c.Get("cluster_workers_healthy") != 1 {
+		t.Errorf("healthy gauge = %d, want 1", c.Get("cluster_workers_healthy"))
+	}
+	// The loop plumbing starts and stops cleanly.
+	reg.StartHealthLoop(10 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	reg.Stop()
+}
+
+// TestRegistryHandler drives the worker-management HTTP API end to end.
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	srv := httptest.NewServer(RegistryHandler(reg))
+	defer srv.Close()
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post("/v1/workers/register", `{"name":"w1","url":"http://localhost:9"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post("/v1/workers/register", `{"name":"","url":"http://x"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid register status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var views []serve.WorkerView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(views) != 1 || views[0].Name != "w1" {
+		t.Fatalf("views = %+v", views)
+	}
+
+	resp = post("/v1/workers/deregister", `{"name":"w1"}`)
+	resp.Body.Close()
+	if reg.Len() != 0 {
+		t.Fatalf("worker still registered after deregister")
+	}
+}
+
+// TestWireRecordRoundTrip pushes every field type (including Bytes, which
+// JSON flattens to base64, and StringList, which comes back as []any)
+// through encode → JSON → decode and requires value identity.
+func TestWireRecordRoundTrip(t *testing.T) {
+	s, err := schema.New("everything", "all field types",
+		schema.Field{Name: "name", Type: schema.String, Desc: "a string"},
+		schema.Field{Name: "count", Type: schema.Int, Desc: "an int"},
+		schema.Field{Name: "ratio", Type: schema.Float, Desc: "a float"},
+		schema.Field{Name: "urgent", Type: schema.Bool, Desc: "a bool"},
+		schema.Field{Name: "tags", Type: schema.StringList, Desc: "a list"},
+		schema.Field{Name: "blob", Type: schema.Bytes, Desc: "raw bytes"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := record.New(s, map[string]any{
+		"name": "r1", "count": int64(7), "ratio": 2.5, "urgent": true,
+		"tags": []string{"x", "y"}, "blob": []byte{0x00, 0xff, 0x10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetSource("tickets")
+	truth := &corpus.Truth{
+		Topics:  []string{"billing"},
+		Labels:  map[string]bool{"urgent": true},
+		Fields:  map[string]string{"customer": "acme"},
+		Numbers: map[string]float64{"score": 0.75},
+	}
+	rec.SetTruth(corpus.TruthKey, truth)
+
+	raw, err := json.Marshal(EncodeRecords([]*record.Record{rec}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire []WireRecord
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRecords(s, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("decoded %d records", len(back))
+	}
+	if got, want := back[0].Values(), rec.Values(); !reflect.DeepEqual(got, want) {
+		t.Errorf("values diverged over the wire:\n got %#v\nwant %#v", got, want)
+	}
+	if back[0].Source() != "tickets" {
+		t.Errorf("source = %q", back[0].Source())
+	}
+	if got := corpus.TruthOf(back[0]); !reflect.DeepEqual(got, truth) {
+		t.Errorf("truth diverged over the wire:\n got %#v\nwant %#v", got, truth)
+	}
+}
+
+// TestServeDistributedQuery wires the full stack the way cmd/pzserve
+// does — serving layer + coordinator + registry + two worker daemons —
+// and checks a partitioned HTTP query returns the sequential answer and
+// /metrics reports the cluster.
+func TestServeDistributedQuery(t *testing.T) {
+	path := writeTicketCorpus(t, 100)
+	counters := metrics.NewCounters()
+	reg := NewRegistry(RegistryConfig{Counters: counters})
+	startWorker(t, reg, "a", path, nil)
+	startWorker(t, reg, "b", path, nil)
+	coord := newTestCoordinator(t, reg, Config{Counters: counters})
+
+	pzctx := coordinatorContext(t, path)
+	srv, err := serve.New(serve.Config{Context: pzctx, Cluster: coord, Counters: counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/workers", RegistryHandler(reg))
+	mux.Handle("/v1/workers/", RegistryHandler(reg))
+	mux.Handle("/", srv.Handler())
+	front := httptest.NewServer(mux)
+	defer front.Close()
+
+	spec := ticketSpec(4)
+	want := sequentialJSON(t, path, spec)
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(front.URL+"/v1/query?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	var view serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != serve.StatusDone || view.Result == nil {
+		t.Fatalf("job %s status %s: %s", view.ID, view.Status, view.Error)
+	}
+	if !bytes.Equal([]byte(view.Result.Records), want) {
+		t.Fatalf("served distributed records diverge:\n got %s\nwant %s", view.Result.Records, want)
+	}
+	if !strings.Contains(view.Result.Plan, "cluster-scatter") {
+		t.Errorf("plan %q does not show scatter execution", view.Result.Plan)
+	}
+
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m serve.Metrics
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cluster == nil || len(m.Cluster.Workers) != 2 {
+		t.Fatalf("metrics cluster section = %+v, want 2 workers", m.Cluster)
+	}
+	if m.Counters["cluster_queries_distributed"] != 1 {
+		t.Errorf("cluster_queries_distributed = %d, want 1", m.Counters["cluster_queries_distributed"])
+	}
+
+	wresp, err := http.Get(front.URL + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	var views []serve.WorkerView
+	if err := json.NewDecoder(wresp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 {
+		t.Errorf("worker listing = %+v, want 2", views)
+	}
+}
+
+// TestSpecValidation: fan-out validation at the serving edge.
+func TestSpecValidation(t *testing.T) {
+	if _, err := serve.ParseSpec([]byte(`{"dataset":{"name":"x"},"partitions":-1}`)); err == nil {
+		t.Error("negative spec partitions accepted by ParseSpec")
+	}
+	if _, err := pz.NewContext(pz.Config{ClusterWorkers: -1}); err == nil {
+		t.Error("negative ClusterWorkers accepted by NewContext")
+	}
+	if _, err := NewCoordinator(Config{}); err == nil {
+		t.Error("coordinator without registry accepted")
+	}
+}

@@ -1,0 +1,508 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/record"
+	"repro/internal/schema"
+	"repro/internal/serve"
+	"repro/pz"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Registry is the worker pool (required).
+	Registry *Registry
+	// Counters optionally shares a metrics registry (typically the
+	// Registry's, so /metrics shows one merged view); nil adopts the
+	// Registry's.
+	Counters *metrics.Counters
+	// Parallelism is the per-operator LLM concurrency for coordinator-side
+	// execution: suffix operators and local partition fallback (default 4).
+	Parallelism int
+	// MaxAttempts bounds remote dispatches per partition; once exhausted
+	// the partition executes locally instead of failing the query
+	// (default 3).
+	MaxAttempts int
+	// PartitionTimeout bounds one remote partition attempt (default 60s).
+	PartitionTimeout time.Duration
+	// StragglerAfter is how long a partition may stay in flight before the
+	// coordinator speculatively re-issues it to an idle worker — first
+	// result wins, the duplicate is discarded (default 30s; the hard
+	// PartitionTimeout still backstops it).
+	StragglerAfter time.Duration
+	// Client performs partition requests; nil uses a dedicated client.
+	Client *http.Client
+}
+
+// Coordinator implements serve.Distributor: it splits an indexed NDJSON
+// scan by the corpus partition index, scatters the query's record-wise
+// prefix (filter/convert/project) across the worker registry as
+// serve.Spec sub-plans over byte ranges, gathers the seq-tagged streams,
+// merges them in partition order — byte-identical to the sequential
+// scan — and runs any remaining suffix operators locally over the merged
+// records.
+type Coordinator struct {
+	cfg      Config
+	reg      *Registry
+	counters *metrics.Counters
+	client   *http.Client
+}
+
+// NewCoordinator builds a Coordinator over a worker registry.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a registry")
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.PartitionTimeout <= 0 {
+		cfg.PartitionTimeout = 60 * time.Second
+	}
+	if cfg.StragglerAfter <= 0 {
+		cfg.StragglerAfter = 30 * time.Second
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = cfg.Registry.Counters()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{cfg: cfg, reg: cfg.Registry, counters: cfg.Counters, client: client}, nil
+}
+
+// Workers implements serve.Distributor.
+func (c *Coordinator) Workers() []serve.WorkerView { return c.reg.Views() }
+
+// distributableOps are the record-wise, order-preserving operators a
+// scattered prefix may contain: running them over any partition of the
+// input and concatenating the outputs in partition order equals one run
+// over the whole input (the same decomposability contract the in-process
+// streaming engine relies on).
+func distributableOp(op string) bool {
+	switch strings.ToLower(op) {
+	case "filter", "convert", "project":
+		return true
+	}
+	return false
+}
+
+// splitOps divides a spec's operator chain into the longest distributable
+// prefix and the remaining suffix.
+func splitOps(specOps []serve.OpSpec) (prefix, suffix []serve.OpSpec) {
+	cut := 0
+	for cut < len(specOps) && distributableOp(specOps[cut].Op) {
+		cut++
+	}
+	return specOps[:cut], specOps[cut:]
+}
+
+// TryExecute implements serve.Distributor. ok=false (nil error) sends
+// the caller down the local path: fan-out below 2, an empty worker pool,
+// a dataset that is not a range-partitionable NDJSON corpus, or a query
+// with no distributable prefix.
+func (c *Coordinator) TryExecute(ctx context.Context, pzctx *pz.Context, spec *serve.Spec, fanout int) (*serve.DistResult, bool, error) {
+	if fanout < 2 {
+		return nil, false, nil
+	}
+	if c.reg.Len() == 0 {
+		c.counters.Inc("cluster_queries_local_fallback")
+		return nil, false, nil
+	}
+	ds, err := spec.Build(pzctx)
+	if err != nil {
+		return nil, false, err
+	}
+	chain := ds.Chain()
+	scan, ok := chain[0].(*ops.Scan)
+	if !ok {
+		return nil, false, nil
+	}
+	nsrc, ok := scan.Source.(*dataset.NDJSONSource)
+	if !ok {
+		return nil, false, nil
+	}
+	ranges := nsrc.PartitionRanges(fanout)
+	if len(ranges) < 2 {
+		return nil, false, nil
+	}
+	prefix, suffix := splitOps(spec.Ops)
+	if len(prefix) == 0 {
+		return nil, false, nil
+	}
+	name := spec.Dataset.Name
+	if name == "" {
+		name = "dataset"
+	}
+	prefixSpec := serve.Spec{Dataset: serve.DatasetSpec{Name: name}, Ops: prefix,
+		Policy: spec.Policy, PolicyParam: spec.PolicyParam}
+	prefixDS, err := prefixSpec.Build(pzctx)
+	if err != nil {
+		return nil, false, err
+	}
+	prefixSchema, err := prefixDS.OutputSchema()
+	if err != nil {
+		return nil, false, err
+	}
+	// Optimize the prefix ONCE, centrally, and pin the champion's physical
+	// plan onto every partition request. Distribution needs two guarantees
+	// re-optimization per partition cannot give: every chosen operator must
+	// be record-wise (ops.IsStreamable — an adaptive embed-filter thresholds
+	// on whole-batch statistics, so partitioning would change its kept set),
+	// and every partition must run the *same* physical operators (model
+	// noise is keyed on model + record content, so a worker picking a
+	// different model over its local statistics would break byte-identity).
+	policy, err := prefixSpec.ParsePolicy()
+	if err != nil {
+		return nil, false, err
+	}
+	champion, _, err := pzctx.OptimizeOnly(prefixDS, policy)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, p := range champion.Ops {
+		if !ops.IsStreamable(p) {
+			c.counters.Inc("cluster_queries_not_streamable")
+			return nil, false, nil
+		}
+	}
+	planSig := PlanSignature(champion)
+
+	done, execBy, err := c.scatter(ctx, &prefixSpec, planSig, ranges, prefixSchema, nsrc.Path())
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Merge in partition order: each partition's records are already in
+	// dataset order, and partitions tile the corpus contiguously, so
+	// concatenation by ordinal reproduces the sequential scan exactly.
+	var merged []*record.Record
+	var cost float64
+	perExec := map[string]time.Duration{}
+	workers := map[string]bool{}
+	for part := range ranges {
+		res := done[part]
+		merged = append(merged, res.Records...)
+		cost += res.CostUSD
+		perExec[execBy[part]] += res.Elapsed
+		if execBy[part] != "local" {
+			workers[execBy[part]] = true
+		}
+	}
+	// Cluster clock model: each executor worked through its partitions
+	// serially while executors ran in parallel, so the scatter phase
+	// costs the slowest executor's total.
+	var elapsed time.Duration
+	for _, d := range perExec {
+		if d > elapsed {
+			elapsed = d
+		}
+	}
+
+	records := merged
+	if len(suffix) > 0 {
+		sres, err := c.runSuffix(ctx, name, prefixSchema, merged, suffix, spec)
+		if err != nil {
+			return nil, false, err
+		}
+		records = sres.Records
+		cost += sres.CostUSD
+		elapsed += sres.Elapsed
+	}
+	c.counters.Inc("cluster_queries_distributed")
+	return &serve.DistResult{
+		Records: records,
+		Plan: fmt.Sprintf("cluster-scatter(%s: %d partitions over %d workers) -> %d prefix + %d suffix ops",
+			name, len(ranges), len(workers), len(prefix), len(suffix)),
+		Elapsed:    elapsed,
+		CostUSD:    cost,
+		Workers:    len(workers),
+		Partitions: len(ranges),
+	}, true, nil
+}
+
+// runSuffix executes the non-distributable operator suffix locally over
+// the merged prefix output: a fresh engine context with the records
+// registered as an in-memory source under the original dataset name.
+func (c *Coordinator) runSuffix(ctx context.Context, name string, s *schema.Schema,
+	merged []*record.Record, suffix []serve.OpSpec, spec *serve.Spec) (*PartitionResult, error) {
+	pzctx, err := pz.NewContext(pz.Config{Parallelism: c.cfg.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pzctx.RegisterRecords(name, s, merged); err != nil {
+		return nil, err
+	}
+	suffixSpec := serve.Spec{Dataset: serve.DatasetSpec{Name: name}, Ops: suffix,
+		Policy: spec.Policy, PolicyParam: spec.PolicyParam}
+	ds, err := suffixSpec.Build(pzctx)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := suffixSpec.ParsePolicy()
+	if err != nil {
+		return nil, err
+	}
+	res, err := pzctx.ExecuteContext(ctx, ds, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitionResult{Records: res.Records, Elapsed: res.Elapsed, CostUSD: res.CostUSD}, nil
+}
+
+// attemptOutcome is one finished partition attempt (remote or local).
+type attemptOutcome struct {
+	part int
+	exec string // worker name; "" for a local attempt
+	res  *PartitionResult
+	err  error
+}
+
+// scatter drives the partition schedule to completion: dispatch at most
+// one in-flight partition per worker (plus at most one local execution),
+// retry failed attempts on other workers up to MaxAttempts before
+// forcing them local, speculatively re-issue stragglers, and fall back
+// to local execution whenever the healthy pool is empty. Returns the
+// per-partition results and which executor produced each.
+func (c *Coordinator) scatter(ctx context.Context, prefixSpec *serve.Spec, planSig []string, ranges []corpus.Partition,
+	prefixSchema *schema.Schema, path string) (map[int]*PartitionResult, map[int]string, error) {
+	scatterCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queue := make([]int, len(ranges))
+	queued := map[int]bool{}
+	for i := range ranges {
+		queue[i] = i
+		queued[i] = true
+	}
+	attempts := map[int]int{}
+	inflight := map[int]int{}
+	started := map[int]time.Time{}
+	reissued := map[int]bool{}
+	forceLocal := map[int]bool{}
+	busy := map[string]bool{}
+	localBusy := false
+	done := map[int]*PartitionResult{}
+	execBy := map[int]string{}
+	// Buffered so late attempts (speculative losers, canceled stragglers)
+	// can always deliver and exit after scatter returns.
+	results := make(chan attemptOutcome, len(ranges)*(c.cfg.MaxAttempts+2))
+
+	request := func(part int) *PartitionRequest {
+		return &PartitionRequest{Spec: *prefixSpec, PlanSig: planSig, Partition: part,
+			Offset: ranges[part].Offset, Docs: ranges[part].Docs}
+	}
+	dispatchRemote := func(part int, w WorkerRef) {
+		busy[w.Name] = true
+		inflight[part]++
+		if _, ok := started[part]; !ok {
+			started[part] = time.Now()
+		}
+		attempts[part]++
+		if attempts[part] == 1 {
+			c.counters.Inc("cluster_partitions_scattered")
+		} else {
+			c.counters.Inc("cluster_partitions_rescattered")
+		}
+		go func() {
+			res, err := c.remote(scatterCtx, w, request(part), prefixSchema)
+			results <- attemptOutcome{part: part, exec: w.Name, res: res, err: err}
+		}()
+	}
+	dispatchLocal := func(part int) {
+		localBusy = true
+		inflight[part]++
+		if _, ok := started[part]; !ok {
+			started[part] = time.Now()
+		}
+		attempts[part]++
+		c.counters.Inc("cluster_partitions_local")
+		go func() {
+			res, err := ExecutePartition(scatterCtx, request(part), path, c.cfg.Parallelism)
+			results <- attemptOutcome{part: part, exec: "", res: res, err: err}
+		}()
+	}
+	// dispatch drains as much of the queue as idle capacity allows.
+	dispatch := func() {
+		healthy := c.reg.Healthy()
+		var idle []WorkerRef
+		for _, w := range healthy {
+			if !busy[w.Name] {
+				idle = append(idle, w)
+			}
+		}
+		var rest []int
+		for _, part := range queue {
+			switch {
+			case done[part] != nil:
+				// Completed while waiting (a speculative duplicate lost).
+			case len(healthy) == 0 || forceLocal[part]:
+				// No pool left, or remote attempts exhausted: run it here.
+				if !localBusy {
+					dispatchLocal(part)
+				} else {
+					rest = append(rest, part)
+					continue
+				}
+			case len(idle) > 0:
+				dispatchRemote(part, idle[0])
+				idle = idle[1:]
+			default:
+				rest = append(rest, part)
+				continue
+			}
+			delete(queued, part)
+		}
+		queue = rest
+	}
+	requeue := func(part int) {
+		if !queued[part] && done[part] == nil {
+			queue = append(queue, part)
+			queued[part] = true
+		}
+	}
+
+	stragglerTick := time.NewTicker(c.cfg.StragglerAfter / 2)
+	defer stragglerTick.Stop()
+
+	for len(done) < len(ranges) {
+		dispatch()
+		totalInflight := 0
+		for _, n := range inflight {
+			totalInflight += n
+		}
+		if totalInflight == 0 && len(queue) == 0 {
+			return nil, nil, fmt.Errorf("cluster: scheduler stalled with %d/%d partitions done", len(done), len(ranges))
+		}
+		if totalInflight == 0 {
+			// Queue non-empty but nothing dispatchable and nothing running
+			// cannot happen (dispatch always starts a local attempt when the
+			// pool is empty), but guard against a busy-wait regardless.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		case <-stragglerTick.C:
+			for part, n := range inflight {
+				if n > 0 && done[part] == nil && !reissued[part] &&
+					time.Since(started[part]) >= c.cfg.StragglerAfter {
+					reissued[part] = true
+					c.counters.Inc("cluster_straggler_reissues")
+					requeue(part)
+				}
+			}
+		case out := <-results:
+			if out.exec != "" {
+				busy[out.exec] = false
+			} else {
+				localBusy = false
+			}
+			inflight[out.part]--
+			if done[out.part] != nil {
+				break // first result won already
+			}
+			if out.err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, ctx.Err()
+				}
+				c.counters.Inc("cluster_partition_failures")
+				if out.exec == "" {
+					// Local execution is the last line of defense; its
+					// failures are deterministic (bad range, corrupt file)
+					// and fail the query rather than retrying forever.
+					return nil, nil, fmt.Errorf("cluster: local execution of partition %d: %w", out.part, out.err)
+				}
+				c.reg.NoteFailure(out.exec)
+				if attempts[out.part] >= c.cfg.MaxAttempts {
+					forceLocal[out.part] = true
+				}
+				requeue(out.part)
+				break
+			}
+			if out.exec != "" {
+				c.reg.NoteSuccess(out.exec)
+				execBy[out.part] = out.exec
+			} else {
+				execBy[out.part] = "local"
+			}
+			done[out.part] = out.res
+		}
+	}
+	return done, execBy, nil
+}
+
+// remote performs one partition attempt against a worker: POST the
+// request, stream the NDJSON chunk response, and rebuild records under
+// the prefix schema. A stream that ends without a done chunk means the
+// worker died mid-partition; the error sends the scheduler back to
+// re-scatter.
+func (c *Coordinator) remote(ctx context.Context, w WorkerRef, preq *PartitionRequest, s *schema.Schema) (*PartitionResult, error) {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return nil, err
+	}
+	tctx, cancel := context.WithTimeout(ctx, c.cfg.PartitionTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, w.URL+"/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: %w", w.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: worker %s: status %d: %s", w.Name, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	var chunks []PartitionChunk
+	for {
+		var ch PartitionChunk
+		if err := dec.Decode(&ch); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("cluster: worker %s died mid-partition %d (stream truncated)", w.Name, preq.Partition)
+			}
+			return nil, fmt.Errorf("cluster: worker %s: %w", w.Name, err)
+		}
+		if ch.Error != "" {
+			return nil, fmt.Errorf("cluster: worker %s partition %d: %s", w.Name, preq.Partition, ch.Error)
+		}
+		if ch.Done {
+			sort.SliceStable(chunks, func(i, j int) bool { return chunks[i].Seq < chunks[j].Seq })
+			var wire []WireRecord
+			for _, c := range chunks {
+				wire = append(wire, c.Records...)
+			}
+			recs, err := DecodeRecords(s, wire)
+			if err != nil {
+				return nil, err
+			}
+			return &PartitionResult{Records: recs,
+				Elapsed: time.Duration(ch.ElapsedSimMS) * time.Millisecond, CostUSD: ch.CostUSD}, nil
+		}
+		chunks = append(chunks, ch)
+	}
+}

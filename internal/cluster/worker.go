@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Name labels the worker (registration, logs).
+	Name string
+	// Parallelism is the per-operator LLM concurrency of partition
+	// sub-plans (default 4).
+	Parallelism int
+	// ChunkSize is how many records each streamed response chunk carries
+	// (default 256).
+	ChunkSize int
+	// Datasets maps registered dataset names to their backing .ndjson
+	// corpus files. A partition request for an unknown name is rejected;
+	// coordinator and worker must agree on names, not paths.
+	Datasets map[string]string
+	// Counters optionally shares a metrics registry; nil allocates one.
+	Counters *metrics.Counters
+}
+
+// Worker executes scattered partitions for a coordinator: each
+// /v1/partition request runs one serve.Spec sub-plan over one byte range
+// of a local corpus file (see ExecutePartition) and streams the results
+// back as seq-tagged NDJSON chunks.
+type Worker struct {
+	cfg      WorkerConfig
+	counters *metrics.Counters
+}
+
+// NewWorker builds a Worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 256
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = metrics.NewCounters()
+	}
+	return &Worker{cfg: cfg, counters: cfg.Counters}, nil
+}
+
+// Name returns the worker's label.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+// Counters exposes the worker's metrics registry.
+func (w *Worker) Counters() *metrics.Counters { return w.counters }
+
+// Handler returns the worker HTTP API:
+//
+//	POST /v1/partition execute one scattered partition, streaming NDJSON
+//	                   chunks (terminal chunk has done=true)
+//	GET  /metrics      worker counters
+//	GET  /healthz      liveness (the registry's health checks poll it)
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/partition", w.handlePartition)
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{"worker": w.cfg.Name, "counters": w.counters.Snapshot()})
+	})
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok", "worker": w.cfg.Name})
+	})
+	return mux
+}
+
+// handlePartition executes one partition request and streams the result.
+// Execution failures before the first byte surface as HTTP errors; the
+// request context carries the coordinator's cancellation, so an aborted
+// query stops the sub-plan between records.
+func (w *Worker) handlePartition(rw http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		w.counters.Inc("worker_partition_errors")
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("cluster: parse partition request: %w", err))
+		return
+	}
+	name := req.Spec.Dataset.Name
+	if name == "" {
+		name = "dataset"
+	}
+	path, ok := w.cfg.Datasets[name]
+	if !ok {
+		w.counters.Inc("worker_partition_errors")
+		writeError(rw, http.StatusNotFound, fmt.Errorf("cluster: worker %s has no dataset %q", w.cfg.Name, name))
+		return
+	}
+	res, err := ExecutePartition(r.Context(), &req, path, w.cfg.Parallelism)
+	if err != nil {
+		w.counters.Inc("worker_partition_errors")
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	w.counters.Inc("worker_partitions_served")
+	w.counters.Add("worker_records_streamed", int64(len(res.Records)))
+
+	rw.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(rw)
+	flusher, _ := rw.(http.Flusher)
+	seq := 0
+	for start := 0; start < len(res.Records); start += w.cfg.ChunkSize {
+		end := start + w.cfg.ChunkSize
+		if end > len(res.Records) {
+			end = len(res.Records)
+		}
+		if err := enc.Encode(PartitionChunk{Seq: seq, Records: EncodeRecords(res.Records[start:end])}); err != nil {
+			return // connection gone; the coordinator re-scatters
+		}
+		seq++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(PartitionChunk{Seq: seq, Done: true,
+		ElapsedSimMS: res.Elapsed.Milliseconds(), CostUSD: res.CostUSD})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, code int, err error) {
+	writeJSON(rw, code, map[string]string{"error": err.Error()})
+}

@@ -153,11 +153,13 @@ func (n *NDJSONSource) IterateRecords(yield func(*record.Record) error) error {
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	return n.drain(r, yield)
+	return drainDocs(r, n.schema, n.name, yield)
 }
 
-// drain yields every document of r as a record, closing r when done.
-func (n *NDJSONSource) drain(r *corpus.DocReader, yield func(*record.Record) error) error {
+// drainDocs yields every document of r as a record under schema s and
+// source name, closing r when done — the shared read loop of NDJSONSource
+// and NDJSONRangeSource.
+func drainDocs(r *corpus.DocReader, s *schema.Schema, source string, yield func(*record.Record) error) error {
 	defer r.Close()
 	for {
 		d, err := r.Next()
@@ -167,7 +169,7 @@ func (n *NDJSONSource) drain(r *corpus.DocReader, yield func(*record.Record) err
 			}
 			return fmt.Errorf("dataset: %w", err)
 		}
-		rec, err := corpus.DocRecord(d, n.schema, n.name)
+		rec, err := corpus.DocRecord(d, s, source)
 		if err != nil {
 			return err
 		}
@@ -187,6 +189,20 @@ func (n *NDJSONSource) partitions(max int) []corpus.Partition {
 		return nil
 	}
 	return n.manifest.Partitions(max)
+}
+
+// PartitionRanges exposes the byte-range partition layout behind
+// PartitionLayout: one corpus.Partition (ordinal, byte offset, exact
+// document count) per slice of an at-most-max-way split. The cluster
+// coordinator scatters these ranges across workers, each of which opens
+// its own OpenNDJSONRange reader — the partition index is the cluster's
+// scatter unit. nil (or a single entry) means the corpus cannot be split.
+func (n *NDJSONSource) PartitionRanges(max int) []corpus.Partition {
+	parts := n.partitions(max)
+	if len(parts) < 2 {
+		return nil
+	}
+	return parts
 }
 
 // PartitionLayout implements PartitionedSource: the per-partition record
@@ -219,7 +235,7 @@ func (n *NDJSONSource) IteratePartition(parts, part int, yield func(*record.Reco
 	if err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	return n.drain(r, yield)
+	return drainDocs(r, n.schema, n.name, yield)
 }
 
 // Records implements Source by draining IterateRecords — the

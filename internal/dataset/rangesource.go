@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/llm"
+	"repro/internal/record"
+	"repro/internal/schema"
+)
+
+// NDJSONRangeSource is one contiguous byte-range slice of an on-disk
+// NDJSON corpus, registered as a dataset in its own right: exactly docs
+// documents starting at a byte offset that falls on a document boundary.
+// It is the worker-side view of a scattered partition — the cluster
+// coordinator splits an indexed corpus with NDJSONSource.PartitionRanges
+// and each worker registers the range it was handed, so a per-partition
+// sub-plan runs against precisely the records of that partition and
+// nothing else. Like NDJSONSource it implements RecordIterator (constant
+// memory) and Stater (the optimizer costs the sub-plan without a load).
+type NDJSONRangeSource struct {
+	name   string
+	path   string
+	offset int64
+	docs   int
+	schema *schema.Schema
+	stats  SourceStats
+}
+
+// NewNDJSONRangeSource opens the corpus slice [offset, offset+docs) and
+// prepares a source. The schema comes from the first in-range document's
+// filename extension and the average record size from a leading sample,
+// mirroring NewNDJSONSource; an offset off a document boundary or a range
+// past EOF surfaces here, at registration, rather than mid-pipeline.
+func NewNDJSONRangeSource(name, path string, offset int64, docs int) (*NDJSONRangeSource, error) {
+	if docs < 1 {
+		return nil, fmt.Errorf("dataset: range over %s needs at least 1 document, got %d", path, docs)
+	}
+	r, err := corpus.OpenNDJSONRange(path, offset, docs)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer r.Close()
+	src := &NDJSONRangeSource{name: name, path: path, offset: offset, docs: docs,
+		stats: SourceStats{NumRecords: docs}}
+	totalTokens, sampled := 0, 0
+	for sampled < statsSampleDocs && sampled < docs {
+		d, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("dataset: range %s@%d wants %d documents, file ends after %d",
+				path, offset, docs, sampled)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		if src.schema == nil {
+			s, ok := schema.ForExtension(filepath.Ext(d.Filename))
+			if !ok {
+				s = schema.TextFile
+			}
+			src.schema = s
+		}
+		totalTokens += llm.CountTokens(d.Text)
+		sampled++
+	}
+	if sampled > 0 {
+		src.stats.AvgTokens = float64(totalTokens) / float64(sampled)
+	}
+	return src, nil
+}
+
+// Name implements Source.
+func (n *NDJSONRangeSource) Name() string { return n.name }
+
+// Schema implements Source.
+func (n *NDJSONRangeSource) Schema() *schema.Schema { return n.schema }
+
+// Stats implements Stater.
+func (n *NDJSONRangeSource) Stats() (SourceStats, bool) { return n.stats, true }
+
+// IterateRecords implements RecordIterator: each call opens a fresh range
+// reader, so memory stays constant in the range size and concurrent
+// iterations never share state beyond the file itself.
+func (n *NDJSONRangeSource) IterateRecords(yield func(*record.Record) error) error {
+	r, err := corpus.OpenNDJSONRange(n.path, n.offset, n.docs)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return drainDocs(r, n.schema, n.name, yield)
+}
+
+// Records implements Source by draining IterateRecords.
+func (n *NDJSONRangeSource) Records() ([]*record.Record, error) {
+	out := make([]*record.Record, 0, n.docs)
+	err := n.IterateRecords(func(r *record.Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

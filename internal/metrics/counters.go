@@ -2,10 +2,12 @@ package metrics
 
 import "sync"
 
-// Counters is a named set of monotonic counters, the minimal registry the
-// serving layer's /metrics endpoint exposes (admissions, rejections,
-// plan-cache hits, completions). Safe for concurrent use; the zero-valued
-// struct is not usable — construct with NewCounters.
+// Counters is a named set of counters, the minimal registry the serving
+// layer's /metrics endpoint exposes (admissions, rejections, plan-cache
+// hits, completions, cluster scatter/retry totals). Most entries are
+// monotonic via Add/Inc; Set supports the few gauge-style readings.
+// Safe for concurrent use; the zero-valued struct is not usable —
+// construct with NewCounters.
 type Counters struct {
 	mu sync.Mutex
 	m  map[string]int64
@@ -23,6 +25,15 @@ func (c *Counters) Add(name string, delta int64) {
 
 // Inc increases the named counter by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Set overwrites the named counter with an absolute value — gauge
+// semantics for quantities that move both ways (e.g. the cluster
+// registry's currently-healthy worker count).
+func (c *Counters) Set(name string, v int64) {
+	c.mu.Lock()
+	c.m[name] = v
+	c.mu.Unlock()
+}
 
 // Get returns the named counter's value (zero when never touched).
 func (c *Counters) Get(name string) int64 {

@@ -27,6 +27,22 @@ func TestCountersBasics(t *testing.T) {
 	}
 }
 
+func TestCountersSet(t *testing.T) {
+	c := NewCounters()
+	c.Add("pool", 7)
+	c.Set("pool", 2)
+	if got := c.Get("pool"); got != 2 {
+		t.Errorf("pool after Set = %d, want 2 (gauge overwrite, not add)", got)
+	}
+	c.Set("pool", 0)
+	if got := c.Get("pool"); got != 0 {
+		t.Errorf("pool after Set(0) = %d, want 0", got)
+	}
+	if snap := c.Snapshot(); snap["pool"] != 0 {
+		t.Errorf("snapshot = %v, want pool present at 0", snap)
+	}
+}
+
 func TestCountersConcurrent(t *testing.T) {
 	c := NewCounters()
 	var wg sync.WaitGroup

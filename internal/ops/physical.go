@@ -114,6 +114,30 @@ type PartitionHinter interface {
 	PartitionHint() int
 }
 
+// ClusterHinter is an optional Physical capability: a scan carrying the
+// cluster worker-pool size its plan was optimized for. The optimizer's
+// pipelined time model clamps a partitioned scan's effective concurrency
+// to the pool size — partitions beyond it queue behind busy workers —
+// while in-process execution ignores the hint (every partition gets its
+// own pipeline regardless).
+type ClusterHinter interface {
+	// ClusterWorkers returns the worker-pool size (0 = no cluster).
+	ClusterWorkers() int
+}
+
+// EffectiveConcurrency resolves how many of a scan's partitions can
+// genuinely execute at once: the effective partition fan-out, clamped to
+// the cluster worker pool when the plan targets one.
+func EffectiveConcurrency(p Physical) int {
+	conc := EffectivePartitions(p)
+	if h, ok := p.(ClusterHinter); ok {
+		if w := h.ClusterWorkers(); w > 0 && w < conc {
+			conc = w
+		}
+	}
+	return conc
+}
+
 // EffectivePartitions resolves the partition fan-out a source-position
 // operator will actually achieve: its hinted fan-out clamped to what the
 // underlying source can provide. 1 means no fan-out. The optimizer uses

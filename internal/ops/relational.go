@@ -19,6 +19,13 @@ type ScanExec struct {
 	// stamps it from Options.Partitions so cached plans keep their
 	// fan-out.
 	Parts int
+	// Workers is the cluster worker-pool size the plan was optimized for
+	// (0 = no cluster). Partitions scatter across at most this many
+	// machines, so pipelined time estimates clamp their effective
+	// concurrency to it — with 8 partitions on 2 workers, each worker
+	// executes 4 partitions serially. The optimizer stamps it from
+	// Options.ClusterWorkers.
+	Workers int
 }
 
 // ID implements Physical.
@@ -118,6 +125,9 @@ func (s *ScanExec) streamBatches(ctx *Ctx, batchSize int, emit func([]*record.Re
 
 // PartitionHint implements PartitionHinter.
 func (s *ScanExec) PartitionHint() int { return s.Parts }
+
+// ClusterWorkers implements ClusterHinter.
+func (s *ScanExec) ClusterWorkers() int { return s.Workers }
 
 // PartitionPlans implements PartitionStreamer: the layout comes from the
 // dataset's PartitionedSource capability (an NDJSON corpus with a

@@ -31,8 +31,8 @@ func Fingerprint(chain []ops.Logical, policy Policy, opts Options) string {
 	}
 	fmt.Fprintf(h, "policy|%s", policy.Describe())
 	h.Write([]byte{0})
-	fmt.Fprintf(h, "opts|pruning=%t|sample=%d|maxplans=%d|pipelined=%t|partitions=%d",
-		opts.Pruning, opts.SampleSize, opts.MaxPlans, opts.Pipelined, opts.Partitions)
+	fmt.Fprintf(h, "opts|pruning=%t|sample=%d|maxplans=%d|pipelined=%t|partitions=%d|cluster=%d",
+		opts.Pruning, opts.SampleSize, opts.MaxPlans, opts.Pipelined, opts.Partitions, opts.ClusterWorkers)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -131,6 +131,13 @@ type Options struct {
 	// engine, which runs one source+map pipeline per partition. The
 	// executor defaults it from its own Partitions config.
 	Partitions int
+	// ClusterWorkers is the coordinator's worker-pool size when the plan
+	// targets cluster scatter (0 = no cluster). Each worker executes its
+	// assigned partitions serially, so pipelined time estimates clamp the
+	// partition concurrency to min(partitions, workers) — 8 partitions on
+	// 2 workers overlap only 2 at a time. The enumerator stamps it onto
+	// scans (ops.ScanExec.Workers) so cached plans keep their topology.
+	ClusterWorkers int
 }
 
 // Optimizer enumerates and ranks physical plans.
@@ -226,10 +233,16 @@ func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib C
 		options := lop.Physical()
 		for _, phys := range options {
 			calib.apply(pos, phys)
-			// Stamp the requested fan-out onto scans so the plan carries
-			// it to the engine (and through the serving plan cache).
-			if sc, ok := phys.(*ops.ScanExec); ok && o.opts.Partitions > 0 {
-				sc.Parts = o.opts.Partitions
+			// Stamp the requested fan-out and cluster topology onto scans
+			// so the plan carries them to the engine (and through the
+			// serving plan cache).
+			if sc, ok := phys.(*ops.ScanExec); ok {
+				if o.opts.Partitions > 0 {
+					sc.Parts = o.opts.Partitions
+				}
+				if o.opts.ClusterWorkers > 0 {
+					sc.Workers = o.opts.ClusterWorkers
+				}
 			}
 		}
 		var next []*Plan
@@ -272,8 +285,11 @@ func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib C
 // per-operator time deltas folded by the engine's shared wall-clock model
 // (ops.PipelinedWallTime). A partitioned scan fans the plan's streamable
 // prefix out into per-partition pipelines, so those stages' deltas divide
-// by the effective fan-out — the same max-across-partitions model the
-// engine applies to its measured stage clocks.
+// by the effective concurrency — the fan-out the source can provide,
+// clamped to the cluster worker-pool size when the plan targets scatter
+// execution (workers run their partitions serially) — the same
+// max-across-executors model the engine and coordinator apply to their
+// measured clocks.
 func pipelinedTimeSec(p *Plan) float64 {
 	deltas := make([]float64, len(p.Ops))
 	var prev float64
@@ -281,7 +297,7 @@ func pipelinedTimeSec(p *Plan) float64 {
 		deltas[i] = p.PerOp[i].TimeSec - prev
 		prev = p.PerOp[i].TimeSec
 	}
-	if parts := ops.EffectivePartitions(p.Ops[0]); parts > 1 {
+	if parts := ops.EffectiveConcurrency(p.Ops[0]); parts > 1 {
 		f := float64(parts)
 		for i := range p.Ops {
 			if i > 0 && !ops.IsStreamable(p.Ops[i]) {

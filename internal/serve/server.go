@@ -33,6 +33,17 @@ type Config struct {
 	// and before it executes — a test seam for holding jobs in flight.
 	// The context is the job's run context (canceled on abort).
 	OnJobStart func(ctx context.Context, job *Job)
+	// Cluster, when set, routes queries with a partition fan-out > 1
+	// through a coordinator that scatters per-partition sub-plans across
+	// registered workers (see internal/cluster). Queries the coordinator
+	// declines (non-partitionable dataset, empty worker pool, no
+	// distributable prefix) fall back to local execution transparently,
+	// as do distributed failures.
+	Cluster Distributor
+	// Counters optionally shares a metrics registry with other subsystems
+	// (the cluster registry/coordinator), so /metrics reports one merged
+	// counter view; nil allocates a private set.
+	Counters *metrics.Counters
 }
 
 // Job statuses.
@@ -173,6 +184,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PlanCacheSize <= 0 {
 		cfg.PlanCacheSize = 128
 	}
+	if cfg.Counters == nil {
+		cfg.Counters = metrics.NewCounters()
+	}
 	base, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:      cfg,
@@ -180,7 +194,7 @@ func New(cfg Config) (*Server, error) {
 		adm:      NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		plans:    NewPlanCache(cfg.PlanCacheSize),
 		tenants:  NewAccounting(cfg.DefaultBudgetUSD, cfg.TenantBudgets),
-		counters: metrics.NewCounters(),
+		counters: cfg.Counters,
 		jobs:     map[string]*Job{},
 		base:     base,
 		shutdown: cancel,
@@ -272,7 +286,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	if r.URL.Query().Get("wait") != "" {
 		// Synchronous: the client's connection drives cancellation.
-		s.runJob(r.Context(), job, ds, policy, ticket)
+		s.runJob(r.Context(), job, &spec, ds, policy, ticket)
 		view := job.view()
 		code := http.StatusOK
 		if view.Status == StatusFailed {
@@ -284,7 +298,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.runJob(s.base, job, ds, policy, ticket)
+		s.runJob(s.base, job, &spec, ds, policy, ticket)
 	}()
 	writeJSON(w, http.StatusAccepted, job.view())
 }
@@ -304,10 +318,11 @@ func (s *Server) newJob(tenant string) *Job {
 }
 
 // runJob drives one admitted query to a terminal state: wait for an
-// execution slot, consult the plan cache, execute with cancellation, and
+// execution slot, try the cluster coordinator for partitioned queries,
+// otherwise consult the plan cache, execute with cancellation, and
 // settle accounting. parent is the job's cancellation scope (the request
 // context for synchronous queries, the server's base context otherwise).
-func (s *Server) runJob(parent context.Context, job *Job, ds *pz.Dataset, policy pz.Policy, ticket *Ticket) {
+func (s *Server) runJob(parent context.Context, job *Job, spec *Spec, ds *pz.Dataset, policy pz.Policy, ticket *Ticket) {
 	defer ticket.Release()
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
@@ -325,6 +340,9 @@ func (s *Server) runJob(parent context.Context, job *Job, ds *pz.Dataset, policy
 	// included) so queries optimized for different fan-outs never share a
 	// cached plan.
 	opts := s.pzctx.OptimizerOptionsFor(ds)
+	if s.runDistributed(ctx, job, spec, policy, opts.Partitions) {
+		return
+	}
 	fp := optimizer.Fingerprint(ds.Chain(), policy, opts)
 	var res *pz.Result
 	var err error
@@ -370,6 +388,52 @@ func (s *Server) runJob(parent context.Context, job *Job, ds *pz.Dataset, policy
 		ElapsedSimMS: res.Elapsed.Milliseconds(),
 		CostUSD:      res.CostUSD,
 	}, "")
+}
+
+// runDistributed offers a partitioned query to the cluster coordinator
+// and, when the coordinator takes it, settles the job from the gathered
+// result. It reports whether the job reached a terminal state: false
+// sends runJob down the local execution path — either because no cluster
+// is configured, the coordinator declined the query (not distributable,
+// no workers), or distributed execution failed in a way local execution
+// can still resolve. Only the run context's cancellation terminates the
+// job from here with a non-done status.
+func (s *Server) runDistributed(ctx context.Context, job *Job, spec *Spec, policy pz.Policy, fanout int) bool {
+	if s.cfg.Cluster == nil || spec == nil || fanout < 2 {
+		return false
+	}
+	dres, ok, err := s.cfg.Cluster.TryExecute(ctx, s.pzctx, spec, fanout)
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.counters.Inc("queries_canceled")
+			job.finish(StatusCanceled, nil, err.Error())
+			return true
+		}
+		// A distributed failure is not a query failure: fall back to the
+		// local engine, which owns the same data.
+		s.counters.Inc("cluster_query_errors")
+		return false
+	}
+	if !ok {
+		return false
+	}
+	s.tenants.Charge(job.tenant, dres.CostUSD)
+	records, err := RecordsJSON(dres.Records)
+	if err != nil {
+		s.counters.Inc("queries_failed")
+		job.finish(StatusFailed, nil, err.Error())
+		return true
+	}
+	s.counters.Inc("queries_done")
+	job.finish(StatusDone, &QueryResult{
+		Records:      records,
+		Count:        len(dres.Records),
+		Plan:         dres.Plan,
+		Policy:       policy.Describe(),
+		ElapsedSimMS: dres.Elapsed.Milliseconds(),
+		CostUSD:      dres.CostUSD,
+	}, "")
+	return true
 }
 
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *Job {
@@ -421,6 +485,14 @@ type Metrics struct {
 	Admission AdmissionStats         `json:"admission"`
 	Tenants   map[string]TenantUsage `json:"tenants"`
 	TotalCost float64                `json:"total_cost_usd"`
+	Cluster   *ClusterStats          `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the cluster section of /metrics: the live worker pool.
+// The scatter/retry/straggler totals live in Counters (cluster_*), which
+// the coordinator shares with the server.
+type ClusterStats struct {
+	Workers []WorkerView `json:"workers"`
 }
 
 // LLMCacheStats mirrors llm.CacheStats for the wire.
@@ -458,6 +530,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
 			SavedUSD: st.SavedUSD, Len: st.Len, Capacity: st.Capacity,
 		}
+	}
+	if s.cfg.Cluster != nil {
+		m.Cluster = &ClusterStats{Workers: s.cfg.Cluster.Workers()}
 	}
 	writeJSON(w, http.StatusOK, m)
 }

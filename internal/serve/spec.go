@@ -74,11 +74,16 @@ type OpSpec struct {
 	Descending   bool     `json:"descending,omitempty"`
 }
 
-// ParseSpec decodes a JSON pipeline spec.
+// ParseSpec decodes a JSON pipeline spec, rejecting invalid fan-out
+// requests at the edge (a negative partitions value is an error, not a
+// silent clamp).
 func ParseSpec(data []byte) (*Spec, error) {
 	var s Spec
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("serve: parse spec: %w", err)
+	}
+	if s.Partitions < 0 {
+		return nil, fmt.Errorf("serve: spec partitions must be >= 0, got %d", s.Partitions)
 	}
 	return &s, nil
 }
@@ -96,6 +101,11 @@ func (s *Spec) ParsePolicy() (pz.Policy, error) {
 // by registered name (registering Dir under Name on first use), and each
 // operator extends the pipeline. Builder errors surface immediately.
 func (s *Spec) Build(ctx *pz.Context) (*pz.Dataset, error) {
+	if s.Partitions < 0 {
+		// Specs constructed programmatically bypass ParseSpec; keep the
+		// edge validation airtight either way.
+		return nil, fmt.Errorf("serve: spec partitions must be >= 0, got %d", s.Partitions)
+	}
 	name := s.Dataset.Name
 	if name == "" {
 		name = "dataset"

@@ -168,6 +168,13 @@ type Config struct {
 	// single streaming reader. Dataset.WithPartitions overrides per
 	// pipeline.
 	Partitions int
+	// ClusterWorkers is the coordinator worker-pool size when this context
+	// fronts cluster scatter execution (see internal/cluster): 0 means no
+	// cluster. It only shapes optimization — the cost model clamps
+	// partition concurrency to the pool size, and plan fingerprints
+	// separate by topology — while the coordinator performs the actual
+	// scatter.
+	ClusterWorkers int
 	// SampleSize enables sentinel calibration over that many records.
 	SampleSize int
 	// Pruning enables Pareto pruning during plan enumeration.
@@ -207,6 +214,9 @@ type Context struct {
 
 // NewContext builds a Context.
 func NewContext(cfg Config) (*Context, error) {
+	if cfg.ClusterWorkers < 0 {
+		return nil, fmt.Errorf("pz: negative cluster worker count %d", cfg.ClusterWorkers)
+	}
 	e, err := exec.NewExecutor(exec.Config{
 		Parallelism:     cfg.Parallelism,
 		Partitions:      cfg.Partitions,
@@ -484,9 +494,10 @@ func (c *Context) ExecuteContext(ctx context.Context, d *Dataset, policy Policy)
 		return nil, d.err
 	}
 	res, err := c.executor.ExecuteContext(ctx, d.chain, policy, optimizer.Options{
-		Pruning:    c.cfg.Pruning,
-		SampleSize: c.cfg.SampleSize,
-		Partitions: d.partitions,
+		Pruning:        c.cfg.Pruning,
+		SampleSize:     c.cfg.SampleSize,
+		Partitions:     d.partitions,
+		ClusterWorkers: c.cfg.ClusterWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -514,10 +525,11 @@ type OptimizerOptions = optimizer.Options
 // cached plans are only reused under identical optimization settings.
 func (c *Context) OptimizerOptions() OptimizerOptions {
 	return optimizer.Options{
-		Pruning:    c.cfg.Pruning,
-		SampleSize: c.cfg.SampleSize,
-		Partitions: c.cfg.Partitions,
-		Pipelined:  c.cfg.Parallelism > 1 || c.cfg.Partitions > 1,
+		Pruning:        c.cfg.Pruning,
+		SampleSize:     c.cfg.SampleSize,
+		Partitions:     c.cfg.Partitions,
+		ClusterWorkers: c.cfg.ClusterWorkers,
+		Pipelined:      c.cfg.Parallelism > 1 || c.cfg.Partitions > 1,
 	}
 }
 
