@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Golden-file tests for the CLI's human-facing output. Every figure
+// pzbench prints is simulated-clock (wall time stays in the JSON
+// artifact only), so `pzbench run` over the committed testdata track
+// must print exactly what it printed when the goldens were recorded.
+// Regenerate with `go test ./cmd/pzbench -run Golden -update`.
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, testdata, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join(testdata, name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output drifted from golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenRunAndCheck(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testdata := filepath.Join(wd, "testdata")
+	track := filepath.Join(testdata, "track.json")
+	t.Chdir(t.TempDir()) // artifact paths print relative and stable
+
+	var buf bytes.Buffer
+	if err := runRun([]string{"-track", track, "-sha", "", "-corpus-dir", "corpora"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	checkGolden(t, testdata, "run.golden", buf.Bytes())
+
+	buf.Reset()
+	if err := runCheck([]string{"BENCH_trajectory.json"}, &buf); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	checkGolden(t, testdata, "check.golden", buf.Bytes())
+
+	// The artifact itself must be schema-valid and cover the full grid
+	// (2 domains × 2 parallelism × 2 partitions — the CI smoke shape).
+	tr, err := bench.ReadTrajectory("BENCH_trajectory.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains, par, parts := map[string]bool{}, map[int]bool{}, map[int]bool{}
+	for _, c := range tr.Cells {
+		domains[c.Domain], par[c.Parallelism], parts[c.Partitions] = true, true, true
+	}
+	if len(domains) < 2 || len(par) < 2 || len(parts) < 2 {
+		t.Fatalf("grid coverage: %d domains, %d parallelism, %d partitions (want >= 2 each)",
+			len(domains), len(par), len(parts))
+	}
+	if !domains["support-triage"] {
+		t.Fatalf("spec-driven domain missing from trajectory: %v", domains)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := runRun([]string{}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-track is required") {
+		t.Fatalf("want missing-track error, got %v", err)
+	}
+	if err := runRun([]string{"-track", filepath.Join(t.TempDir(), "nope.json")}, &bytes.Buffer{}); err == nil {
+		t.Fatalf("want missing-file error")
+	}
+	if err := runCheck([]string{}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+	if err := runCheck([]string{filepath.Join(t.TempDir(), "nope.json")}, &bytes.Buffer{}); err == nil {
+		t.Fatalf("want missing-trajectory error")
+	}
+}

@@ -1,0 +1,136 @@
+// Command pzbench runs rally-style benchmark tracks — the unified
+// replacement for the per-PR BENCH_*.json scatter.
+//
+// Usage:
+//
+//	pzbench run -track tracks/smoke.json [-out BENCH_trajectory.json]
+//	            [-corpus-dir corpora] [-server URL] [-sha GITSHA]
+//	pzbench check BENCH_trajectory.json
+//
+// run loads a track file (a benchmark grid: datasets × parallelism ×
+// partitions × policies; see docs/howto-bench.md), generates or reuses
+// the corpora under -corpus-dir, executes every cell through the real pz
+// engine — or against a running pzserve when -server is given — and
+// writes one schema-versioned trajectory artifact: per-cell simulated
+// time, cost, quality-vs-truth, and throughput, stamped with the git SHA
+// and the track digest. Cells print as they finish; all printed figures
+// are simulated-clock, so output is deterministic for a fixed track and
+// code revision. check validates an existing trajectory artifact and
+// exits non-zero if it is structurally unsound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = runRun(args, os.Stdout)
+	case "check":
+		err = runCheck(args, os.Stdout)
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "pzbench: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pzbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `pzbench — run benchmark tracks, emit one trajectory artifact
+
+commands:
+  run   -track F [-out F] [-corpus-dir D] [-server URL] [-sha SHA]
+  check F           validate an existing trajectory artifact
+`)
+}
+
+// runRun executes a full track and writes the trajectory artifact.
+func runRun(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	track := fs.String("track", "", "track file (required; see docs/howto-bench.md)")
+	out := fs.String("out", "BENCH_trajectory.json", "trajectory output path")
+	corpusDir := fs.String("corpus-dir", "corpora", "directory for generated corpora (reused when manifests match)")
+	server := fs.String("server", "", "pzserve base URL to run cells against (default: in-process engine)")
+	sha := fs.String("sha", os.Getenv("GITHUB_SHA"), "git SHA to stamp the trajectory with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *track == "" {
+		return fmt.Errorf("run: -track is required")
+	}
+	t, digest, err := bench.LoadTrack(*track)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "track %s: %d cells over %d dataset(s)\n", t.Name, t.Cells(), len(t.Datasets))
+	tr, err := bench.Run(t, digest, bench.Options{
+		CorpusDir: *corpusDir,
+		TrackDir:  filepath.Dir(*track),
+		ServerURL: *server,
+		GitSHA:    *sha,
+		Progress:  func(line string) { fmt.Fprintln(stdout, line) },
+	})
+	if err != nil {
+		return err
+	}
+	tr.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	if err := tr.Write(*out); err != nil {
+		return err
+	}
+	var simMS int64
+	var cost float64
+	for _, c := range tr.Cells {
+		simMS += c.ElapsedSimMS
+		cost += c.CostUSD
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d cells, sim total %.1f s, cost total $%.4f\n",
+		*out, len(tr.Cells), float64(simMS)/1000, cost)
+	return nil
+}
+
+// runCheck validates an existing trajectory artifact.
+func runCheck(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("check: exactly one trajectory path expected")
+	}
+	path := fs.Arg(0)
+	tr, err := bench.ReadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	datasets := map[string]bool{}
+	for _, c := range tr.Cells {
+		datasets[c.Dataset] = true
+	}
+	fmt.Fprintf(stdout, "OK %s: track %s, %d cells over %d dataset(s), schema v%d, digest %s…\n",
+		path, tr.Track, len(tr.Cells), len(datasets), tr.SchemaVersion, tr.TrackDigest[:12])
+	return nil
+}

@@ -89,3 +89,49 @@ func TestGoldenStatsAndIndex(t *testing.T) {
 	}
 	checkGolden(t, testdata, "stats_support_noindex.golden", buf.Bytes())
 }
+
+// TestGoldenGenerateSpec snapshots the config-driven generation path:
+// `pzcorpus generate -spec` compiles and registers the domain spec, then
+// streams it to disk like any Go domain, and `validate -spec` resolves
+// the spec domain's validation hook for the on-disk corpus.
+func TestGoldenGenerateSpec(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testdata := filepath.Join(wd, "testdata")
+	specFile := filepath.Join(wd, "..", "..", "specs", "support-triage.json")
+	t.Chdir(t.TempDir()) // CLI output embeds the corpus path; keep it stable
+
+	var buf bytes.Buffer
+	if err := runGenerate([]string{"-spec", specFile, "-n", "120", "-seed", "5", "-out", "triage.ndjson"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, testdata, "generate_spec.golden", buf.Bytes())
+
+	buf.Reset()
+	if err := runValidate([]string{"-spec", specFile, "triage.ndjson"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, testdata, "validate_spec.golden", buf.Bytes())
+
+	// The spec twin writes byte-identical NDJSON to the Go support domain
+	// at the same size/seed: same checksum, different manifest domain.
+	if err := runGenerate([]string{"-domain", "support", "-n", "120", "-seed", "5", "-out", "go.ndjson"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := corpus.ReadManifest("triage.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := corpus.ReadManifest("go.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.SHA256 != mg.SHA256 {
+		t.Fatalf("spec corpus checksum %s != Go corpus %s", ms.SHA256, mg.SHA256)
+	}
+	if ms.Domain != "support-triage" || mg.Domain != "support" {
+		t.Fatalf("manifest domains: %q / %q", ms.Domain, mg.Domain)
+	}
+}

@@ -5,7 +5,8 @@
 //
 //	pzcorpus generate -domain support -n 100000 -out corpus.ndjson
 //	                  [-rate 0.3] [-seed 17] [-size 50MB]
-//	pzcorpus validate corpus.ndjson
+//	pzcorpus generate -spec specs/support-triage.json -out corpus.ndjson
+//	pzcorpus validate [-spec file.json] corpus.ndjson
 //	pzcorpus stats    corpus.ndjson
 //	pzcorpus domains
 //
@@ -14,10 +15,14 @@
 // at any -n — and writes a manifest (seed, config, counts, SHA-256)
 // alongside. -size targets an approximate output size instead of a
 // document count (the tool probes a small sample to estimate bytes per
-// document). validate re-derives the manifest checksum and checks every
-// line's ground truth against the Truth contract (see internal/corpus);
-// it exits non-zero on any mismatch. stats prints the manifest plus a
-// fresh streaming pass over the file. domains lists the registry.
+// document). -spec compiles a config-driven domain spec (see
+// internal/corpus/spec and docs/howto-corpus.md) and registers it before
+// generation, so declarative domains flow through the same path as the Go
+// ones. validate re-derives the manifest checksum and checks every line's
+// ground truth against the Truth contract (see internal/corpus); it exits
+// non-zero on any mismatch (pass -spec so spec-generated corpora resolve
+// their domain hook). stats prints the manifest plus a fresh streaming
+// pass over the file. domains lists the registry.
 //
 // Registered corpora plug into pipelines via pz.Context.RegisterNDJSON,
 // the {"dataset": {"name": ..., "file": ...}} spec field of pzrun and
@@ -34,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/corpus"
+	"repro/internal/corpus/spec"
 	"repro/internal/llm"
 )
 
@@ -73,8 +79,8 @@ func usage(w io.Writer) {
 	fmt.Fprintf(w, `pzcorpus — generate, validate, and summarize NDJSON corpora
 
 commands:
-  generate -domain D -out F [-n N | -size S] [-rate R] [-seed N]
-  validate F        re-derive checksum, check every line's ground truth
+  generate [-domain D | -spec F] -out F [-n N | -size S] [-rate R] [-seed N]
+  validate [-spec F] F   re-derive checksum, check every line's ground truth
   stats    F        manifest + fresh streaming statistics
   index    F        back-fill the byte-offset partition index [-partitions P]
   domains           list registered corpus domains
@@ -84,7 +90,8 @@ commands:
 // runGenerate streams a domain generator to an NDJSON file + manifest.
 func runGenerate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
-	domain := fs.String("domain", "", "corpus domain (see `pzcorpus domains`; required)")
+	domain := fs.String("domain", "", "corpus domain (see `pzcorpus domains`)")
+	specPath := fs.String("spec", "", "domain-spec file to compile and register (JSON; see docs/howto-corpus.md)")
 	n := fs.Int("n", 0, "number of documents (0 = domain default)")
 	size := fs.String("size", "", "approximate output size (e.g. 50MB) instead of -n")
 	rate := fs.Float64("rate", -1, "positive-class fraction (negative = domain default)")
@@ -93,8 +100,18 @@ func runGenerate(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *specPath != "" {
+		name, err := registerSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		if *domain != "" && *domain != name {
+			return fmt.Errorf("generate: -spec %s declares domain %q, -domain says %q", *specPath, name, *domain)
+		}
+		*domain = name
+	}
 	if *domain == "" || *out == "" {
-		return fmt.Errorf("generate: -domain and -out are required")
+		return fmt.Errorf("generate: -domain (or -spec) and -out are required")
 	}
 	if *rate > 1 {
 		return fmt.Errorf("generate: -rate %v out of range (want a fraction in [0,1], or omit for the domain default)", *rate)
@@ -150,11 +167,33 @@ func docsForSize(domain string, rate float64, seed int64, targetBytes int64) (in
 	return n, nil
 }
 
+// registerSpec compiles a domain-spec file and registers its domain in
+// the corpus registry (idempotently per process), returning the name.
+func registerSpec(path string) (string, error) {
+	c, err := spec.Load(path)
+	if err != nil {
+		return "", err
+	}
+	name := c.Spec().Name
+	if _, ok := corpus.DomainByName(name); !ok {
+		if err := c.Register(); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
 // runValidate checks a corpus against its manifest and the Truth contract.
 func runValidate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "domain-spec file to register before validation (so the corpus's domain hook resolves)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *specPath != "" {
+		if _, err := registerSpec(*specPath); err != nil {
+			return err
+		}
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("validate: exactly one corpus path expected")

@@ -1,0 +1,546 @@
+// Package bench is the rally-style track harness behind cmd/pzbench: a
+// track file declares a benchmark grid (datasets × parallelism ×
+// partitions × policies), the runner generates or reuses the corpora,
+// executes every cell through the real pz engine (or a running pzserve),
+// and emits one schema-versioned trajectory artifact
+// (BENCH_trajectory.json) — per-cell simulated time, cost,
+// quality-vs-truth, and throughput, stamped with the git SHA and the
+// track digest so runs are comparable across PRs. One artifact replaces
+// the per-PR BENCH_*.json scatter.
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/corpus/spec"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/pz"
+)
+
+// SchemaVersion is the trajectory artifact format version.
+const SchemaVersion = 1
+
+// Limits on track shape: tracks are user input, and every knob multiplies
+// the grid, so each axis is bounded before the runner fans out.
+const (
+	// MaxDatasets bounds the dataset axis.
+	MaxDatasets = 16
+	// MaxAxis bounds the parallelism/partitions/policies axes.
+	MaxAxis = 16
+	// MaxCells bounds the whole grid.
+	MaxCells = 256
+	// MaxDocs bounds one dataset's corpus size.
+	MaxDocs = 1_000_000
+	// MaxKnob bounds one parallelism or partition value.
+	MaxKnob = 64
+	// MaxTrackBytes bounds the raw track document.
+	MaxTrackBytes = 1 << 20
+)
+
+// Track declares a benchmark grid. Every combination of dataset ×
+// parallelism × partitions × policy becomes one cell.
+type Track struct {
+	// Name identifies the track in the trajectory.
+	Name string `json:"name"`
+	// Description is a one-line summary.
+	Description string `json:"description,omitempty"`
+	// Datasets are the corpora and pipelines to measure.
+	Datasets []TrackDataset `json:"datasets"`
+	// Parallelism lists the per-operator concurrency levels to sweep.
+	Parallelism []int `json:"parallelism"`
+	// Partitions lists the scan fan-outs to sweep.
+	Partitions []int `json:"partitions"`
+	// Policies lists the optimization policies to sweep ("max-quality",
+	// "min-cost", ...).
+	Policies []string `json:"policies"`
+	// PolicyParam parameterizes constrained policies.
+	PolicyParam float64 `json:"policy_param,omitempty"`
+}
+
+// TrackDataset is one dataset axis entry: a corpus recipe (domain, size,
+// rate, seed) plus the declarative pipeline to run over it.
+type TrackDataset struct {
+	// Name labels the dataset in cells and names the generated corpus.
+	Name string `json:"name"`
+	// Domain is the corpus domain to generate from (a built-in Go domain
+	// or the name of the domain Spec declares).
+	Domain string `json:"domain"`
+	// Spec optionally points at a domain-spec file (see
+	// docs/howto-corpus.md) to compile and register before generation —
+	// the config-driven path. Relative paths resolve against the track
+	// file's directory.
+	Spec string `json:"spec,omitempty"`
+	// Docs is the corpus size.
+	Docs int `json:"docs"`
+	// Rate overrides the domain's positive-class rate (nil = default).
+	Rate *float64 `json:"rate,omitempty"`
+	// Seed makes the corpus deterministic.
+	Seed int64 `json:"seed"`
+	// Ops is the declarative operator chain to execute (serve wire form).
+	Ops []serve.OpSpec `json:"ops"`
+}
+
+func (d *TrackDataset) rate() float64 {
+	if d.Rate == nil {
+		return -1
+	}
+	return *d.Rate
+}
+
+// ParseTrack decodes and validates a track document. Unknown keys are
+// rejected so a typo'd axis cannot silently shrink a grid.
+func ParseTrack(data []byte) (*Track, error) {
+	if len(data) > MaxTrackBytes {
+		return nil, fmt.Errorf("bench: track is %d bytes, limit %d", len(data), MaxTrackBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t Track
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("bench: parse track: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("bench: trailing data after track document")
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTrack reads and parses a track file, returning the track and the
+// SHA-256 digest of its bytes (the trajectory's track_digest).
+func LoadTrack(path string) (*Track, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("bench: %w", err)
+	}
+	t, err := ParseTrack(data)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	sum := sha256.Sum256(data)
+	return t, hex.EncodeToString(sum[:]), nil
+}
+
+func (t *Track) validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("bench: track has no name")
+	}
+	if len(t.Datasets) == 0 || len(t.Datasets) > MaxDatasets {
+		return fmt.Errorf("bench: track needs 1..%d datasets, got %d", MaxDatasets, len(t.Datasets))
+	}
+	seen := map[string]bool{}
+	for i := range t.Datasets {
+		d := &t.Datasets[i]
+		if d.Name == "" {
+			return fmt.Errorf("bench: dataset %d has no name", i)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("bench: duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Domain == "" && d.Spec == "" {
+			return fmt.Errorf("bench: dataset %q names no domain or spec", d.Name)
+		}
+		if d.Docs <= 0 || d.Docs > MaxDocs {
+			return fmt.Errorf("bench: dataset %q docs %d outside [1, %d]", d.Name, d.Docs, MaxDocs)
+		}
+		if r := d.Rate; r != nil && (*r < 0 || *r > 1) {
+			return fmt.Errorf("bench: dataset %q rate %v outside [0, 1]", d.Name, *r)
+		}
+		if len(d.Ops) == 0 {
+			return fmt.Errorf("bench: dataset %q declares no ops", d.Name)
+		}
+	}
+	for _, axis := range []struct {
+		what string
+		vals []int
+	}{{"parallelism", t.Parallelism}, {"partitions", t.Partitions}} {
+		if len(axis.vals) == 0 || len(axis.vals) > MaxAxis {
+			return fmt.Errorf("bench: track needs 1..%d %s values, got %d", MaxAxis, axis.what, len(axis.vals))
+		}
+		for _, v := range axis.vals {
+			if v < 1 || v > MaxKnob {
+				return fmt.Errorf("bench: %s value %d outside [1, %d]", axis.what, v, MaxKnob)
+			}
+		}
+	}
+	if len(t.Policies) == 0 || len(t.Policies) > MaxAxis {
+		return fmt.Errorf("bench: track needs 1..%d policies, got %d", MaxAxis, len(t.Policies))
+	}
+	for _, p := range t.Policies {
+		if _, err := pz.ParsePolicy(p, t.PolicyParam); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+	}
+	if n := t.Cells(); n > MaxCells {
+		return fmt.Errorf("bench: grid has %d cells, limit %d", n, MaxCells)
+	}
+	return nil
+}
+
+// Cells is the grid size the track declares.
+func (t *Track) Cells() int {
+	return len(t.Datasets) * len(t.Parallelism) * len(t.Partitions) * len(t.Policies)
+}
+
+// Quality is a cell's filter quality against corpus ground truth.
+type Quality struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+}
+
+// Cell is one measured grid point.
+type Cell struct {
+	// Dataset/Domain/Docs identify the corpus; Parallelism, Partitions,
+	// and Policy locate the cell on the grid.
+	Dataset     string `json:"dataset"`
+	Domain      string `json:"domain"`
+	Docs        int    `json:"docs"`
+	Parallelism int    `json:"parallelism"`
+	Partitions  int    `json:"partitions"`
+	Policy      string `json:"policy"`
+	// Records is the output cardinality; Candidates is how many plans the
+	// optimizer considered.
+	Records    int `json:"records"`
+	Candidates int `json:"candidates"`
+	// ElapsedSimMS and CostUSD are the engine's simulated runtime and LLM
+	// spend — deterministic for a fixed track and git SHA.
+	ElapsedSimMS int64   `json:"elapsed_sim_ms"`
+	CostUSD      float64 `json:"cost_usd"`
+	// DocsPerSimSec is corpus throughput in simulated time.
+	DocsPerSimSec float64 `json:"docs_per_sim_sec"`
+	// WallMS is the host wall-clock spent on the cell (machine-dependent;
+	// compare ElapsedSimMS across runs, not this).
+	WallMS int64 `json:"wall_ms"`
+	// Quality is filter quality versus corpus truth (nil when the
+	// pipeline has no leading filter or in server mode, where the bench
+	// client does not see truth-bearing records).
+	Quality *Quality `json:"quality,omitempty"`
+}
+
+// Trajectory is the single benchmark artifact one track run emits.
+type Trajectory struct {
+	SchemaVersion int    `json:"schema_version"`
+	Track         string `json:"track"`
+	Description   string `json:"description,omitempty"`
+	// TrackDigest is the SHA-256 of the track file: two trajectories are
+	// comparable cell-for-cell exactly when their digests match.
+	TrackDigest string `json:"track_digest"`
+	// GitSHA locates the measured code revision.
+	GitSHA string `json:"git_sha,omitempty"`
+	// GeneratedAt is the RFC 3339 run timestamp ("" in deterministic
+	// test fixtures).
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Server is the pzserve URL when cells ran remotely ("" = in-process).
+	Server string `json:"server,omitempty"`
+	Cells  []Cell `json:"cells"`
+}
+
+// Validate checks a trajectory is structurally sound — the gate behind
+// `pzbench check` and the CI artifact step.
+func (tr *Trajectory) Validate() error {
+	if tr.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: trajectory schema_version %d (want %d)", tr.SchemaVersion, SchemaVersion)
+	}
+	if tr.Track == "" {
+		return fmt.Errorf("bench: trajectory names no track")
+	}
+	if len(tr.TrackDigest) != sha256.Size*2 {
+		return fmt.Errorf("bench: track_digest %q is not a SHA-256 hex digest", tr.TrackDigest)
+	}
+	if len(tr.Cells) == 0 {
+		return fmt.Errorf("bench: trajectory has no cells")
+	}
+	for i, c := range tr.Cells {
+		switch {
+		case c.Dataset == "":
+			return fmt.Errorf("bench: cell %d has no dataset", i)
+		case c.Docs <= 0:
+			return fmt.Errorf("bench: cell %d has %d docs", i, c.Docs)
+		case c.Parallelism < 1 || c.Partitions < 1:
+			return fmt.Errorf("bench: cell %d has parallelism %d, partitions %d", i, c.Parallelism, c.Partitions)
+		case c.Policy == "":
+			return fmt.Errorf("bench: cell %d has no policy", i)
+		case c.ElapsedSimMS < 0 || c.CostUSD < 0 || c.Records < 0:
+			return fmt.Errorf("bench: cell %d has negative measurements", i)
+		}
+	}
+	return nil
+}
+
+// ReadTrajectory loads and validates a trajectory artifact.
+func ReadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &tr, nil
+}
+
+// Write stores the trajectory at path, indented, trailing newline.
+func (tr *Trajectory) Write(path string) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Options configures one track run.
+type Options struct {
+	// CorpusDir is where generated corpora live; a corpus whose manifest
+	// already matches the dataset recipe is reused, not regenerated.
+	CorpusDir string
+	// TrackDir resolves relative spec paths (usually the track file's
+	// directory).
+	TrackDir string
+	// ServerURL, when set, runs cells against a running pzserve instead
+	// of in-process (POST /v1/query?wait=1).
+	ServerURL string
+	// GitSHA stamps the trajectory.
+	GitSHA string
+	// Progress, when set, receives one line per completed cell.
+	Progress func(string)
+}
+
+// Run executes the full grid and returns the trajectory. Corpora are
+// generated (or reused) first, then every cell runs on a fresh pz context
+// so no cache state leaks between cells.
+func Run(t *Track, digest string, opts Options) (*Trajectory, error) {
+	if opts.CorpusDir == "" {
+		return nil, fmt.Errorf("bench: no corpus dir")
+	}
+	if err := os.MkdirAll(opts.CorpusDir, 0o755); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	paths := make(map[string]string, len(t.Datasets))
+	domains := make(map[string]string, len(t.Datasets))
+	for i := range t.Datasets {
+		d := &t.Datasets[i]
+		domain, err := ensureDomain(d, opts.TrackDir)
+		if err != nil {
+			return nil, err
+		}
+		path, err := ensureCorpus(d, domain, opts)
+		if err != nil {
+			return nil, err
+		}
+		paths[d.Name], domains[d.Name] = path, domain
+	}
+
+	tr := &Trajectory{
+		SchemaVersion: SchemaVersion,
+		Track:         t.Name,
+		Description:   t.Description,
+		TrackDigest:   digest,
+		GitSHA:        opts.GitSHA,
+		Server:        opts.ServerURL,
+	}
+	for i := range t.Datasets {
+		d := &t.Datasets[i]
+		for _, par := range t.Parallelism {
+			for _, parts := range t.Partitions {
+				for _, policy := range t.Policies {
+					cell, err := runCell(t, d, domains[d.Name], paths[d.Name], par, parts, policy, opts)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s p=%d parts=%d %s: %w", d.Name, par, parts, policy, err)
+					}
+					tr.Cells = append(tr.Cells, *cell)
+					if opts.Progress != nil {
+						opts.Progress(fmt.Sprintf("%-12s p=%-2d parts=%-2d %-12s %6d ms  $%.4f  %d records",
+							d.Name, par, parts, policy, cell.ElapsedSimMS, cell.CostUSD, cell.Records))
+					}
+				}
+			}
+		}
+	}
+	return tr, nil
+}
+
+// ensureDomain resolves a dataset's domain, compiling and registering its
+// spec file first when one is declared.
+func ensureDomain(d *TrackDataset, trackDir string) (string, error) {
+	if d.Spec == "" {
+		if _, ok := corpus.DomainByName(d.Domain); !ok {
+			return "", fmt.Errorf("bench: dataset %q: unknown domain %q", d.Name, d.Domain)
+		}
+		return d.Domain, nil
+	}
+	path := d.Spec
+	if !filepath.IsAbs(path) && trackDir != "" {
+		path = filepath.Join(trackDir, path)
+	}
+	c, err := spec.Load(path)
+	if err != nil {
+		return "", fmt.Errorf("bench: dataset %q: %w", d.Name, err)
+	}
+	name := c.Spec().Name
+	if d.Domain != "" && d.Domain != name {
+		return "", fmt.Errorf("bench: dataset %q: spec %s declares domain %q, track says %q", d.Name, d.Spec, name, d.Domain)
+	}
+	if _, ok := corpus.DomainByName(name); !ok {
+		if err := c.Register(); err != nil {
+			return "", fmt.Errorf("bench: dataset %q: %w", d.Name, err)
+		}
+	}
+	return name, nil
+}
+
+// ensureCorpus generates the dataset's corpus under CorpusDir, reusing an
+// existing file whose manifest matches the recipe (domain, docs, seed).
+func ensureCorpus(d *TrackDataset, domain string, opts Options) (string, error) {
+	path := filepath.Join(opts.CorpusDir, fmt.Sprintf("%s-n%d-s%d.ndjson", domain, d.Docs, d.Seed))
+	if m, err := corpus.ReadManifest(path); err == nil &&
+		m.Domain == domain && m.NumDocs == d.Docs && m.Seed == d.Seed {
+		return path, nil
+	}
+	g, err := corpus.NewGenerator(domain, d.Docs, d.rate(), d.Seed)
+	if err != nil {
+		return "", fmt.Errorf("bench: dataset %q: %w", d.Name, err)
+	}
+	cfg := map[string]any{"domain": domain, "docs": d.Docs, "seed": d.Seed}
+	if d.Rate != nil {
+		cfg["rate"] = *d.Rate
+	}
+	if _, err := corpus.SaveNDJSON(path, g, d.Seed, cfg); err != nil {
+		return "", fmt.Errorf("bench: dataset %q: %w", d.Name, err)
+	}
+	return path, nil
+}
+
+// runCell measures one grid point.
+func runCell(t *Track, d *TrackDataset, domain, corpusPath string, par, parts int, policy string, opts Options) (*Cell, error) {
+	cell := &Cell{
+		Dataset: d.Name, Domain: domain, Docs: d.Docs,
+		Parallelism: par, Partitions: parts, Policy: policy,
+	}
+	pspec := &serve.Spec{
+		Dataset:     serve.DatasetSpec{Name: d.Name, File: corpusPath},
+		Ops:         d.Ops,
+		Policy:      policy,
+		PolicyParam: t.PolicyParam,
+		Partitions:  parts,
+	}
+	start := time.Now()
+	if opts.ServerURL != "" {
+		if err := runCellServer(cell, pspec, opts.ServerURL); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := runCellLocal(cell, d, pspec, par, parts, corpusPath); err != nil {
+			return nil, err
+		}
+	}
+	cell.WallMS = time.Since(start).Milliseconds()
+	// Partitioned pipelines accumulate per-partition costs in completion
+	// order; round away the last-ulp float wobble so identical runs emit
+	// byte-identical measurements.
+	cell.CostUSD = math.Round(cell.CostUSD*1e6) / 1e6
+	if cell.ElapsedSimMS > 0 {
+		cell.DocsPerSimSec = float64(d.Docs) / (float64(cell.ElapsedSimMS) / 1000)
+	}
+	return cell, nil
+}
+
+func runCellLocal(cell *Cell, d *TrackDataset, pspec *serve.Spec, par, parts int, corpusPath string) error {
+	ctx, err := pz.NewContext(pz.Config{Parallelism: par, Partitions: parts})
+	if err != nil {
+		return err
+	}
+	src, err := ctx.RegisterNDJSON(d.Name, corpusPath)
+	if err != nil {
+		return err
+	}
+	ds, err := pspec.Build(ctx)
+	if err != nil {
+		return err
+	}
+	pol, err := pspec.ParsePolicy()
+	if err != nil {
+		return err
+	}
+	res, err := ctx.Execute(ds, pol)
+	if err != nil {
+		return err
+	}
+	cell.Records = len(res.Records)
+	cell.Candidates = res.Candidates
+	cell.ElapsedSimMS = res.Elapsed.Milliseconds()
+	cell.CostUSD = res.CostUSD
+	if pred := leadingFilter(d.Ops); pred != "" {
+		inputs, err := src.Records()
+		if err != nil {
+			return err
+		}
+		q := metrics.FilterQualityByTruth(inputs, res.Records, pred)
+		cell.Quality = &Quality{
+			Precision: q.Precision, Recall: q.Recall, F1: q.F1,
+			TP: q.TP, FP: q.FP, FN: q.FN,
+		}
+	}
+	return nil
+}
+
+// leadingFilter returns the predicate of the pipeline's first filter op,
+// the one whose quality-vs-truth the trajectory records.
+func leadingFilter(ops []serve.OpSpec) string {
+	if len(ops) > 0 && strings.EqualFold(ops[0].Op, "filter") {
+		return ops[0].Predicate
+	}
+	return ""
+}
+
+// runCellServer executes the cell against a running pzserve. The server
+// sees the corpus path, not truth-bearing records, so Quality stays nil.
+func runCellServer(cell *Cell, pspec *serve.Spec, url string) error {
+	body, err := json.Marshal(pspec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(url, "/")+"/v1/query?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Status string             `json:"status"`
+		Error  string             `json:"error"`
+		Result *serve.QueryResult `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return fmt.Errorf("decode server response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK || view.Result == nil {
+		return fmt.Errorf("server returned HTTP %d (status %q, error %q)", resp.StatusCode, view.Status, view.Error)
+	}
+	cell.Records = view.Result.Count
+	cell.Candidates = view.Result.Candidates
+	cell.ElapsedSimMS = view.Result.ElapsedSimMS
+	cell.CostUSD = view.Result.CostUSD
+	return nil
+}

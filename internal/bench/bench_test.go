@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/workloads"
+	"repro/pz"
+)
+
+// miniTrack is a small valid grid over the Go support domain.
+const miniTrack = `{
+  "name": "mini",
+  "description": "unit-test grid",
+  "datasets": [
+    {"name": "support", "domain": "support", "docs": 40, "seed": 5,
+     "ops": [{"op": "filter", "predicate": "The ticket is urgent and needs immediate attention"}]}
+  ],
+  "parallelism": [1, 2],
+  "partitions": [1, 2],
+  "policies": ["max-quality"]
+}`
+
+func parseMini(t *testing.T) *Track {
+	t.Helper()
+	tr, err := ParseTrack([]byte(miniTrack))
+	if err != nil {
+		t.Fatalf("parse mini track: %v", err)
+	}
+	return tr
+}
+
+func TestTrackCells(t *testing.T) {
+	if got := parseMini(t).Cells(); got != 4 {
+		t.Fatalf("mini grid has %d cells, want 4", got)
+	}
+}
+
+func TestParseTrackRejects(t *testing.T) {
+	mut := func(old, new string) string { return strings.Replace(miniTrack, old, new, 1) }
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty", ``, "EOF"},
+		{"oversized", `{"x": "` + strings.Repeat("y", MaxTrackBytes) + `"}`, "limit"},
+		{"unknown key", mut(`"name": "mini"`, `"name": "mini", "typo": 1`), "unknown field"},
+		{"trailing", miniTrack + `{}`, "trailing data"},
+		{"no name", mut(`"name": "mini"`, `"name": ""`), "no name"},
+		{"no datasets", mut(`"datasets": [`, `"datasets": [], "ignored": [`), "unknown field"},
+		{"nameless dataset", mut(`"name": "support"`, `"name": ""`), "has no name"},
+		{"no domain", mut(`"domain": "support"`, `"domain": ""`), "no domain or spec"},
+		{"zero docs", mut(`"docs": 40`, `"docs": 0`), "docs 0 outside"},
+		{"huge docs", mut(`"docs": 40`, `"docs": 99999999`), "outside"},
+		{"bad rate", mut(`"seed": 5`, `"seed": 5, "rate": 1.7`), "rate 1.7 outside"},
+		{"no ops", mut(`"ops": [{"op": "filter", "predicate": "The ticket is urgent and needs immediate attention"}]`,
+			`"ops": []`), "no ops"},
+		{"no parallelism", mut(`"parallelism": [1, 2]`, `"parallelism": []`), "parallelism values"},
+		{"zero knob", mut(`"partitions": [1, 2]`, `"partitions": [0]`), "outside [1, 64]"},
+		{"huge knob", mut(`"parallelism": [1, 2]`, `"parallelism": [999]`), "outside [1, 64]"},
+		{"no policies", mut(`"policies": ["max-quality"]`, `"policies": []`), "policies"},
+		{"bad policy", mut(`"max-quality"`, `"warp-speed"`), "warp-speed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrack([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("ParseTrack accepted a bad track")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseTrackDuplicateDataset(t *testing.T) {
+	doc := strings.Replace(miniTrack, `"datasets": [`, `"datasets": [
+    {"name": "support", "domain": "support", "docs": 10, "seed": 1,
+     "ops": [{"op": "filter", "predicate": "p"}]},`, 1)
+	if _, err := ParseTrack([]byte(doc)); err == nil || !strings.Contains(err.Error(), "duplicate dataset") {
+		t.Fatalf("want duplicate-dataset error, got %v", err)
+	}
+}
+
+func TestGridCap(t *testing.T) {
+	doc := strings.Replace(miniTrack, `"parallelism": [1, 2]`,
+		`"parallelism": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]`, 1)
+	doc = strings.Replace(doc, `"partitions": [1, 2]`,
+		`"partitions": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]`, 1)
+	doc = strings.Replace(doc, `"policies": ["max-quality"]`,
+		`"policies": ["max-quality", "min-cost"]`, 1)
+	if _, err := ParseTrack([]byte(doc)); err == nil || !strings.Contains(err.Error(), "cells, limit") {
+		t.Fatalf("want grid-cap error, got %v", err)
+	}
+}
+
+func runMini(t *testing.T, dir string) *Trajectory {
+	t.Helper()
+	tr, err := Run(parseMini(t), strings.Repeat("ab", 32), Options{CorpusDir: dir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return tr
+}
+
+func TestRunMiniTrack(t *testing.T) {
+	dir := t.TempDir()
+	tr := runMini(t, dir)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trajectory invalid: %v", err)
+	}
+	if len(tr.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(tr.Cells))
+	}
+	for i, c := range tr.Cells {
+		if c.ElapsedSimMS <= 0 || c.CostUSD <= 0 || c.Records == 0 {
+			t.Fatalf("cell %d carries no measurements: %+v", i, c)
+		}
+		if c.Quality == nil {
+			t.Fatalf("cell %d has no quality (pipeline leads with a filter)", i)
+		}
+		if c.DocsPerSimSec <= 0 {
+			t.Fatalf("cell %d has no throughput", i)
+		}
+		if c.Domain != "support" || c.Docs != 40 {
+			t.Fatalf("cell %d mislabeled: %+v", i, c)
+		}
+	}
+	// Outputs and cost are invariant across the parallelism/partition
+	// axes; only simulated elapsed moves.
+	for _, c := range tr.Cells[1:] {
+		if c.Records != tr.Cells[0].Records || c.CostUSD != tr.Cells[0].CostUSD {
+			t.Fatalf("records/cost vary across the grid: %+v vs %+v", tr.Cells[0], c)
+		}
+	}
+	if tr.Cells[0].ElapsedSimMS <= tr.Cells[3].ElapsedSimMS {
+		t.Fatalf("p=1/parts=1 (%d ms) should be slower than p=2/parts=2 (%d ms)",
+			tr.Cells[0].ElapsedSimMS, tr.Cells[3].ElapsedSimMS)
+	}
+}
+
+func TestRunDeterministicAndCorpusReuse(t *testing.T) {
+	dir := t.TempDir()
+	a := runMini(t, dir)
+	path := filepath.Join(dir, "support-n40-s5.ndjson")
+	st1, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("corpus not written: %v", err)
+	}
+	b := runMini(t, dir)
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st1.ModTime().Equal(st2.ModTime()) {
+		t.Fatalf("second run regenerated the corpus instead of reusing it")
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		ca.WallMS, cb.WallMS = 0, 0
+		if (ca.Quality == nil) != (cb.Quality == nil) || (ca.Quality != nil && *ca.Quality != *cb.Quality) {
+			t.Fatalf("cell %d quality not deterministic: %+v vs %+v", i, ca.Quality, cb.Quality)
+		}
+		ca.Quality, cb.Quality = nil, nil
+		if ca != cb {
+			t.Fatalf("cell %d not deterministic:\n  %+v\n  %+v", i, ca, cb)
+		}
+	}
+}
+
+// TestRunSpecDataset drives the config-driven path: the dataset's domain
+// comes from a spec file, resolved relative to the track directory.
+func TestRunSpecDataset(t *testing.T) {
+	doc := strings.Replace(miniTrack,
+		`"domain": "support"`,
+		`"spec": "specs/support-triage.json"`, 1)
+	track, err := ParseTrack([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(track, strings.Repeat("cd", 32), Options{CorpusDir: t.TempDir(), TrackDir: "../.."})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range tr.Cells {
+		if c.Domain != "support-triage" {
+			t.Fatalf("cell %d domain %q, want the spec-declared support-triage", i, c.Domain)
+		}
+		if c.Quality == nil || c.Quality.F1 == 0 {
+			t.Fatalf("cell %d: no quality against spec-generated truth: %+v", i, c.Quality)
+		}
+	}
+}
+
+// TestRunServerMode executes cells against a live pzserve and checks the
+// trajectory carries the server's sim-clock measurements.
+func TestRunServerMode(t *testing.T) {
+	pzctx, err := pz.NewContext(pz.Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Context: pzctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	local := runMini(t, t.TempDir())
+	tr, err := Run(parseMini(t), strings.Repeat("ef", 32), Options{CorpusDir: t.TempDir(), ServerURL: ts.URL})
+	if err != nil {
+		t.Fatalf("server-mode run: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Server != ts.URL {
+		t.Fatalf("trajectory server %q, want %q", tr.Server, ts.URL)
+	}
+	for i, c := range tr.Cells {
+		if c.Quality != nil {
+			t.Fatalf("cell %d: server mode cannot score quality, got %+v", i, c.Quality)
+		}
+		if c.Records != local.Cells[i].Records {
+			t.Fatalf("cell %d: server records %d != local %d", i, c.Records, local.Cells[i].Records)
+		}
+		if c.CostUSD != local.Cells[i].CostUSD {
+			t.Fatalf("cell %d: server cost %v != local %v", i, c.CostUSD, local.Cells[i].CostUSD)
+		}
+	}
+}
+
+func TestRunUnknownDomain(t *testing.T) {
+	doc := strings.Replace(miniTrack, `"domain": "support"`, `"domain": "nope"`, 1)
+	track, err := ParseTrack([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(track, strings.Repeat("00", 32), Options{CorpusDir: t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), "unknown domain") {
+		t.Fatalf("want unknown-domain error, got %v", err)
+	}
+}
+
+func TestTrajectoryRoundTripAndValidate(t *testing.T) {
+	tr := runMini(t, t.TempDir())
+	tr.GitSHA = "deadbeef"
+	tr.GeneratedAt = "2026-08-08T00:00:00Z"
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+	if err := tr.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Track != "mini" || len(got.Cells) != 4 || got.GitSHA != "deadbeef" {
+		t.Fatalf("round trip mangled the trajectory: %+v", got)
+	}
+
+	bad := *got
+	bad.SchemaVersion = 99
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("want schema_version error, got %v", err)
+	}
+	bad = *got
+	bad.TrackDigest = "short"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("want digest error, got %v", err)
+	}
+	bad = *got
+	bad.Cells = nil
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "no cells") {
+		t.Fatalf("want no-cells error, got %v", err)
+	}
+	bad = *got
+	bad.Cells = append([]Cell{}, got.Cells...)
+	bad.Cells[0].Parallelism = 0
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "parallelism") {
+		t.Fatalf("want parallelism error, got %v", err)
+	}
+
+	// A corrupt artifact on disk is an error, not a crash.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectory(path); err == nil {
+		t.Fatalf("ReadTrajectory accepted garbage")
+	}
+}
+
+func TestLoadTrackDigest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := os.WriteFile(path, []byte(miniTrack), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, digest, err := LoadTrack(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "mini" || len(digest) != 64 {
+		t.Fatalf("track %q digest %q", tr.Name, digest)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(miniTrack), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadTrack(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatalf("LoadTrack of a missing file should fail")
+	}
+}
+
+var _ = workloads.SupportPredicate // the mini track quotes it verbatim

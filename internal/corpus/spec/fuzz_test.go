@@ -1,0 +1,79 @@
+package spec
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// FuzzDomainSpec feeds the spec parser hostile configurations. The
+// invariant: Parse/Compile either reject a document with an error or
+// produce a domain whose generator runs without panicking and without
+// unbounded allocation — every count that could size an allocation is
+// capped by the package limits before use.
+func FuzzDomainSpec(f *testing.F) {
+	if data, err := os.ReadFile(supportSpecPath); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(miniSpec))
+	hostile := []string{
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"spec_version": 1, "name": "x", "docs": -1, "fields": []}`,
+		`{"spec_version": 1, "name": "x", "docs": 999999999999999, "fields": [{"name": "a", "gen": "const", "value": "v"}], "filename": "f", "text": "t"}`,
+		// cyclic template reference
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "template", "template": "{b}"}, {"name": "b", "gen": "template", "template": "{a}"}], "filename": "f", "text": "{a}", "truth": {"fields": {"a": "{a}"}}}`,
+		// self reference
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "template", "template": "{a}"}], "filename": "f", "text": "{a}", "truth": {"fields": {"a": "{a}"}}}`,
+		// absurd pad width
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "const", "value": "v"}], "filename": "{index:%0999999999d}", "text": "t", "truth": {"fields": {"a": "{a}"}}}`,
+		// scale overflow
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "int", "min": 999999999999, "max": 999999999999, "scale": 999999999999}], "filename": "f", "text": "{a}", "truth": {"numbers": {"a": "{a}"}}}`,
+		// huge int range
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "int", "min": -999999999999, "max": 999999999999}], "filename": "f", "text": "{a}", "truth": {"numbers": {"a": "{a}"}}}`,
+		// NaN-ish rate and infinity endpoints arrive as JSON numbers only;
+		// reject huge exponents instead
+		`{"spec_version": 1, "name": "x", "docs": 1, "positive": {"label": "p", "rate": 1e300}, "fields": [{"name": "a", "gen": "float", "min": -1e300, "max": 1e300}], "filename": "f", "text": "{a}", "truth": {"numbers": {"a": "{a}"}}}`,
+		// duplicate / shadowing names
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "index", "gen": "const", "value": "v"}], "filename": "f", "text": "{index}", "truth": {"fields": {"index": "{index}"}}}`,
+		// deep brace nesting in templates
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "const", "value": "v"}], "filename": "f", "text": "` + strings.Repeat("{", 64) + `", "truth": {"fields": {"a": "{a}"}}}`,
+		// unknown keys and trailing garbage
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "const", "value": "v", "bogus": 1}], "filename": "f", "text": "{a}"}`,
+		`{"spec_version": 1, "name": "x", "docs": 1, "fields": [{"name": "a", "gen": "const", "value": "v"}], "filename": "f", "text": "{a}", "truth": {"fields": {"a": "{a}"}}} trailing`,
+	}
+	for _, h := range hostile {
+		f.Add([]byte(h))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		c, err := Compile(s)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// A compiled spec must generate: a small corpus regardless of the
+		// spec's own default size, every doc passing the spec's Validate
+		// hook. The generic Truth contract (values appear in text) is a
+		// domain-quality property, not a safety property, so it is not
+		// asserted here.
+		docs, err := corpus.Collect(c.Generator(3, -1, 1))
+		if err != nil {
+			t.Fatalf("index generator errored: %v", err)
+		}
+		if len(docs) != 3 {
+			t.Fatalf("asked for 3 docs, got %d", len(docs))
+		}
+		for _, d := range docs {
+			if err := c.validateDoc(d); err != nil {
+				t.Fatalf("compiled domain emits docs failing its own hook: %v", err)
+			}
+		}
+	})
+}

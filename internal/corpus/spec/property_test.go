@@ -1,0 +1,162 @@
+package spec
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// The byte-identity property: specs/support-triage.json is a
+// transliteration of the hand-written support domain, and the package
+// determinism contract (DocRNG per document, PositiveScatter for the
+// class split, two-pass draws in field order) promises that a
+// transliterated spec reproduces its Go twin byte for byte — same text,
+// same truth, same NDJSON checksum — at any size, seed, and rate.
+
+const supportSpecPath = "../../../specs/support-triage.json"
+
+func loadSupportSpec(t *testing.T) *Compiled {
+	t.Helper()
+	c, err := Load(supportSpecPath)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", supportSpecPath, err)
+	}
+	return c
+}
+
+// docJSON canonicalizes a document for comparison: both sides marshal
+// through the same encoder, so equal bytes means equal documents.
+func docJSON(t *testing.T, d *corpus.Doc) string {
+	t.Helper()
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("marshal doc: %v", err)
+	}
+	return string(b)
+}
+
+func compareDocs(t *testing.T, want, got []*corpus.Doc) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("doc count: Go domain %d, spec domain %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := docJSON(t, want[i]), docJSON(t, got[i])
+		if w != g {
+			t.Fatalf("doc %d differs:\n  go:   %s\n  spec: %s", i, w, g)
+		}
+	}
+}
+
+// TestSupportSpecByteIdentitySlice compares the spec-compiled domain
+// against the Go slice API (GenerateSupport) over 10k documents at
+// several seeds.
+func TestSupportSpecByteIdentitySlice(t *testing.T) {
+	c := loadSupportSpec(t)
+	const n = 10000
+	for _, seed := range []int64{1, 17, 42} {
+		want := corpus.GenerateSupport(corpus.SupportConfig{NumTickets: n, UrgentRate: 0.3, Seed: seed})
+		got, err := corpus.Collect(c.Generator(n, -1, seed)) // -1 = spec default rate 0.3
+		if err != nil {
+			t.Fatalf("seed %d: collect spec generator: %v", seed, err)
+		}
+		compareDocs(t, want, got)
+	}
+}
+
+// TestSupportSpecByteIdentityStream compares the two streaming APIs
+// document by document and checks the NDJSON serialization agrees down
+// to the checksum.
+func TestSupportSpecByteIdentityStream(t *testing.T) {
+	c := loadSupportSpec(t)
+	const n = 10000
+	for _, seed := range []int64{1, 17, 42} {
+		gGo := corpus.NewSupportGenerator(corpus.SupportConfig{NumTickets: n, UrgentRate: 0.3, Seed: seed})
+		gSpec := c.Generator(n, -1, seed)
+		if gGo.Len() != gSpec.Len() {
+			t.Fatalf("seed %d: Len: Go %d, spec %d", seed, gGo.Len(), gSpec.Len())
+		}
+		for i := 0; ; i++ {
+			w, werr := gGo.Next()
+			g, gerr := gSpec.Next()
+			if werr == io.EOF || gerr == io.EOF {
+				if werr != gerr {
+					t.Fatalf("seed %d: streams ended unevenly at doc %d: go=%v spec=%v", seed, i, werr, gerr)
+				}
+				break
+			}
+			if wj, gj := docJSON(t, w), docJSON(t, g); wj != gj {
+				t.Fatalf("seed %d doc %d differs:\n  go:   %s\n  spec: %s", seed, i, wj, gj)
+			}
+		}
+
+		mGo, err := corpus.WriteNDJSON(io.Discard, corpus.NewSupportGenerator(corpus.SupportConfig{NumTickets: n, UrgentRate: 0.3, Seed: seed}))
+		if err != nil {
+			t.Fatalf("seed %d: write Go NDJSON: %v", seed, err)
+		}
+		mSpec, err := corpus.WriteNDJSON(io.Discard, c.Generator(n, -1, seed))
+		if err != nil {
+			t.Fatalf("seed %d: write spec NDJSON: %v", seed, err)
+		}
+		if mGo.SHA256 != mSpec.SHA256 {
+			t.Fatalf("seed %d: NDJSON checksum: Go %s, spec %s", seed, mGo.SHA256, mSpec.SHA256)
+		}
+		if mGo.NumDocs != mSpec.NumDocs || mGo.Bytes != mSpec.Bytes {
+			t.Fatalf("seed %d: NDJSON counts: Go (%d docs, %d bytes), spec (%d docs, %d bytes)",
+				seed, mGo.NumDocs, mGo.Bytes, mSpec.NumDocs, mSpec.Bytes)
+		}
+		if g, s := mGo.LabelCounts[corpus.UrgentLabel], mSpec.LabelCounts[corpus.UrgentLabel]; g != s {
+			t.Fatalf("seed %d: urgent count: Go %d, spec %d", seed, g, s)
+		}
+	}
+}
+
+// TestSupportSpecRateAndSizeOverrides proves identity holds away from
+// the spec defaults: explicit rates and the default-doc path (n <= 0).
+func TestSupportSpecRateAndSizeOverrides(t *testing.T) {
+	c := loadSupportSpec(t)
+	for _, tc := range []struct {
+		n    int
+		rate float64
+		seed int64
+	}{
+		{1000, 0.5, 7},
+		{1000, 0.0, 7},
+		{1000, 1.0, 7},
+		{1, 0.3, 3},
+		{0, 0.3, 17}, // n <= 0: both sides fall back to 200 default docs
+	} {
+		n := tc.n
+		if n <= 0 {
+			n = 200
+		}
+		want := corpus.GenerateSupport(corpus.SupportConfig{NumTickets: n, UrgentRate: tc.rate, Seed: tc.seed})
+		got, err := corpus.Collect(c.Generator(tc.n, tc.rate, tc.seed))
+		if err != nil {
+			t.Fatalf("%+v: collect: %v", tc, err)
+		}
+		compareDocs(t, want, got)
+	}
+}
+
+// TestSupportSpecValidates runs the compiled domain's documents through
+// the generic Truth contract and the spec's own Validate hook — the same
+// gate `pzcorpus validate` applies on disk.
+func TestSupportSpecValidates(t *testing.T) {
+	c := loadSupportSpec(t)
+	docs, err := corpus.Collect(c.Generator(500, -1, 11))
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	d := c.Domain()
+	for i, doc := range docs {
+		if err := corpus.ValidateDoc(doc); err != nil {
+			t.Fatalf("doc %d: truth contract: %v", i, err)
+		}
+		if err := d.Validate(doc); err != nil {
+			t.Fatalf("doc %d: domain validate: %v", i, err)
+		}
+	}
+}

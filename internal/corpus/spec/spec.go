@@ -1,0 +1,445 @@
+// Package spec is the config-driven corpus domain SDK: a JSON document
+// declares a domain's field generators (categorical draws, numeric
+// ranges, seeded noise, templates) and its ground-truth annotators, and
+// Compile turns it into a registered corpus.Domain whose generator is
+// index-addressable (constant memory at any corpus size) and validated by
+// the same Truth contract as the hand-written Go domains. New scenario
+// domains become data, not code: write a spec, `pzcorpus generate -spec
+// file.json`, and the corpus flows through every existing path (NDJSON
+// manifests, partitioned scans, the pzbench harness).
+//
+// Determinism contract. A compiled domain draws randomness exactly like
+// the hand-written scale domains: document i's RNG is corpus.DocRNG(seed,
+// i), and the positive class (urgent tickets, profitable filings) is
+// marked by corpus.PositiveScatter. Draws happen in two passes — every
+// field's base draw in declaration order, then, for positive-class
+// documents, every positive override in declaration order — mirroring the
+// hand-written shape `x := base(); if positive { x = override() }`. A
+// spec that transliterates a Go domain therefore reproduces it byte for
+// byte (see testdata and the property test against the support domain).
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Version is the current spec format version; Parse rejects others.
+const Version = 1
+
+// Hard limits on spec shape. Specs are user input (files, fuzzers), so
+// every count that could size an allocation is bounded before use.
+const (
+	// MaxSpecBytes bounds the raw spec document.
+	MaxSpecBytes = 1 << 20
+	// MaxFields bounds the field-generator list.
+	MaxFields = 64
+	// MaxChoices bounds one categorical generator's choice/row list.
+	MaxChoices = 4096
+	// MaxColumns bounds a row table's column list.
+	MaxColumns = 16
+	// MaxTopics bounds the truth topic list.
+	MaxTopics = 16
+	// MaxAnnotations bounds the truth fields/numbers maps.
+	MaxAnnotations = 64
+	// MaxTemplateLen bounds any single template string.
+	MaxTemplateLen = 1 << 16
+	// MaxNameLen bounds field and domain names.
+	MaxNameLen = 64
+	// MaxDefaultDocs bounds the spec's default corpus size (generation
+	// callers may still ask for more explicitly).
+	MaxDefaultDocs = 100_000_000
+	// MaxIntRange bounds an integer generator's value count (the Intn
+	// argument must stay a positive int on 32-bit platforms too).
+	MaxIntRange = 1 << 30
+	// MaxAbsValue bounds integer endpoints and scales so scaled values
+	// stay comfortably inside float64's exact-integer range.
+	MaxAbsValue = 1_000_000_000_000
+	// MaxPadWidth bounds the zero-pad width of a {ref:%0Nd} placeholder
+	// (a hostile width would otherwise allocate the padding).
+	MaxPadWidth = 32
+	// MaxDecimals bounds a float generator's rendered precision.
+	MaxDecimals = 12
+)
+
+// DomainSpec is the root of a domain spec document.
+type DomainSpec struct {
+	// SpecVersion must equal Version.
+	SpecVersion int `json:"spec_version"`
+	// Name is the domain registry name ("support-triage").
+	Name string `json:"name"`
+	// Description is the one-line registry summary.
+	Description string `json:"description,omitempty"`
+	// Workload names the scenario the domain backs.
+	Workload string `json:"workload,omitempty"`
+	// Docs is the default corpus size.
+	Docs int `json:"docs"`
+	// Positive declares the positive document class, if the domain has
+	// one: a rate, a ground-truth label, and per-field overrides.
+	Positive *PositiveSpec `json:"positive,omitempty"`
+	// Fields are the ordered field generators. Order is semantic: it is
+	// the RNG draw order (see the package determinism contract).
+	Fields []FieldSpec `json:"fields"`
+	// Filename is the per-document filename template.
+	Filename string `json:"filename"`
+	// Text is the document body template.
+	Text string `json:"text"`
+	// Truth declares the ground-truth annotators.
+	Truth TruthSpec `json:"truth"`
+}
+
+// PositiveSpec declares the positive document class.
+type PositiveSpec struct {
+	// Label is the boolean ground-truth label set true on positive
+	// documents and false on the rest ("urgent").
+	Label string `json:"label"`
+	// Rate is the default positive fraction in [0, 1]; generation-time
+	// rate overrides replace it.
+	Rate float64 `json:"rate"`
+}
+
+// FieldSpec is one field generator. Gen selects the kind; exactly the
+// fields relevant to that kind are set.
+type FieldSpec struct {
+	// Name identifies the field in templates and truth annotators:
+	// lowercase letters, digits, and underscores.
+	Name string `json:"name"`
+	// Gen is the generator kind: "pick", "pickrow", "int", "float",
+	// "template", or "const".
+	Gen string `json:"gen"`
+
+	// Choices are the categorical values of a "pick" generator.
+	Choices []string `json:"choices,omitempty"`
+
+	// Columns and Rows form the row table of a "pickrow" generator: each
+	// row is one value per column, referenced from templates as
+	// {field.column}; {field} alone renders the first column.
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+
+	// Min/Max bound an "int" draw (inclusive) or a "float" draw
+	// (half-open). Scale multiplies an "int" draw (default 1).
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// Decimals is a "float" generator's rounding precision.
+	Decimals int `json:"decimals,omitempty"`
+	// Format renders an "int" value (printf, %d-family; default "%d").
+	Format string `json:"format,omitempty"`
+
+	// Template is a "template" generator's body. Template fields draw no
+	// randomness and may reference builtins and non-template fields only
+	// (which rules out reference cycles by construction).
+	Template string `json:"template,omitempty"`
+
+	// Value is a "const" generator's fixed string.
+	Value string `json:"value,omitempty"`
+
+	// Positive overrides the draw on positive-class documents. The base
+	// draw still happens first (keeping the RNG stream aligned across
+	// classes); the override is drawn in the second pass and replaces the
+	// value. Only valid on "pick", "int", and "float" generators.
+	Positive *FieldOverride `json:"positive,omitempty"`
+}
+
+// FieldOverride is the positive-class variant of a field draw.
+type FieldOverride struct {
+	Choices  []string `json:"choices,omitempty"`
+	Min      float64  `json:"min,omitempty"`
+	Max      float64  `json:"max,omitempty"`
+	Scale    float64  `json:"scale,omitempty"`
+	Decimals int      `json:"decimals,omitempty"`
+	Format   string   `json:"format,omitempty"`
+}
+
+// TruthSpec declares the ground-truth annotators: every entry is a
+// template (usually a single field reference) evaluated per document.
+type TruthSpec struct {
+	// Topics become Truth.Topics, in order.
+	Topics []string `json:"topics,omitempty"`
+	// Fields become Truth.Fields (scalar string annotations).
+	Fields map[string]string `json:"fields,omitempty"`
+	// Numbers become Truth.Numbers; each value must be a single
+	// reference to a numeric ("int" or "float") field.
+	Numbers map[string]string `json:"numbers,omitempty"`
+}
+
+// Parse decodes and validates a spec document. Unknown JSON keys are
+// rejected (a typo'd generator knob must not silently vanish), as is any
+// shape that exceeds the package limits.
+func Parse(data []byte) (*DomainSpec, error) {
+	if len(data) > MaxSpecBytes {
+		return nil, fmt.Errorf("spec: document is %d bytes, limit %d", len(data), MaxSpecBytes)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s DomainSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after document")
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// validate checks everything that does not need the template parser;
+// Compile re-walks templates and cross-references.
+func (s *DomainSpec) validate() error {
+	if s.SpecVersion != Version {
+		return fmt.Errorf("spec: unsupported spec_version %d (want %d)", s.SpecVersion, Version)
+	}
+	if err := checkName("domain", s.Name); err != nil {
+		return err
+	}
+	if s.Docs <= 0 {
+		return fmt.Errorf("spec: %s: default docs must be positive, got %d", s.Name, s.Docs)
+	}
+	if s.Docs > MaxDefaultDocs {
+		return fmt.Errorf("spec: %s: default docs %d exceeds limit %d", s.Name, s.Docs, MaxDefaultDocs)
+	}
+	if p := s.Positive; p != nil {
+		if err := checkName("positive label", p.Label); err != nil {
+			return err
+		}
+		if math.IsNaN(p.Rate) || p.Rate < 0 || p.Rate > 1 {
+			return fmt.Errorf("spec: %s: positive rate %v outside [0, 1]", s.Name, p.Rate)
+		}
+	}
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("spec: %s: no fields declared", s.Name)
+	}
+	if len(s.Fields) > MaxFields {
+		return fmt.Errorf("spec: %s: %d fields exceeds limit %d", s.Name, len(s.Fields), MaxFields)
+	}
+	seen := map[string]bool{}
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		if err := f.validate(s); err != nil {
+			return fmt.Errorf("spec: %s: field %d: %w", s.Name, i, err)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("spec: %s: duplicate field %q", s.Name, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	if s.Filename == "" {
+		return fmt.Errorf("spec: %s: no filename template", s.Name)
+	}
+	if s.Text == "" {
+		return fmt.Errorf("spec: %s: no text template", s.Name)
+	}
+	for _, t := range []struct {
+		what string
+		v    string
+	}{{"filename", s.Filename}, {"text", s.Text}} {
+		if len(t.v) > MaxTemplateLen {
+			return fmt.Errorf("spec: %s: %s template is %d bytes, limit %d", s.Name, t.what, len(t.v), MaxTemplateLen)
+		}
+	}
+	if len(s.Truth.Topics) > MaxTopics {
+		return fmt.Errorf("spec: %s: %d topics exceeds limit %d", s.Name, len(s.Truth.Topics), MaxTopics)
+	}
+	if len(s.Truth.Fields) > MaxAnnotations {
+		return fmt.Errorf("spec: %s: %d truth fields exceeds limit %d", s.Name, len(s.Truth.Fields), MaxAnnotations)
+	}
+	if len(s.Truth.Numbers) > MaxAnnotations {
+		return fmt.Errorf("spec: %s: %d truth numbers exceeds limit %d", s.Name, len(s.Truth.Numbers), MaxAnnotations)
+	}
+	if len(s.Truth.Topics)+len(s.Truth.Fields)+len(s.Truth.Numbers) == 0 && s.Positive == nil {
+		return fmt.Errorf("spec: %s: truth declares no annotations (the Truth contract requires at least one)", s.Name)
+	}
+	return nil
+}
+
+func (f *FieldSpec) validate(s *DomainSpec) error {
+	if err := checkName("field", f.Name); err != nil {
+		return err
+	}
+	if isBuiltinRef(f.Name) {
+		return fmt.Errorf("field %q shadows a builtin reference", f.Name)
+	}
+	switch f.Gen {
+	case "pick":
+		if err := checkChoices(f.Choices); err != nil {
+			return err
+		}
+		if f.Positive != nil {
+			if err := checkChoices(f.Positive.Choices); err != nil {
+				return fmt.Errorf("positive override: %w", err)
+			}
+		}
+	case "pickrow":
+		if len(f.Columns) == 0 || len(f.Columns) > MaxColumns {
+			return fmt.Errorf("pickrow needs 1..%d columns, got %d", MaxColumns, len(f.Columns))
+		}
+		colSeen := map[string]bool{}
+		for _, c := range f.Columns {
+			if err := checkName("column", c); err != nil {
+				return err
+			}
+			if colSeen[c] {
+				return fmt.Errorf("duplicate column %q", c)
+			}
+			colSeen[c] = true
+		}
+		if len(f.Rows) == 0 || len(f.Rows) > MaxChoices {
+			return fmt.Errorf("pickrow needs 1..%d rows, got %d", MaxChoices, len(f.Rows))
+		}
+		for i, row := range f.Rows {
+			if len(row) != len(f.Columns) {
+				return fmt.Errorf("row %d has %d values for %d columns", i, len(row), len(f.Columns))
+			}
+		}
+		if f.Positive != nil {
+			return fmt.Errorf("pickrow does not support a positive override")
+		}
+	case "int":
+		if err := checkIntRange(f.Min, f.Max, f.Scale, f.Format); err != nil {
+			return err
+		}
+		if o := f.Positive; o != nil {
+			if err := checkIntRange(o.Min, o.Max, o.Scale, o.Format); err != nil {
+				return fmt.Errorf("positive override: %w", err)
+			}
+		}
+	case "float":
+		if err := checkFloatRange(f.Min, f.Max, f.Decimals); err != nil {
+			return err
+		}
+		if o := f.Positive; o != nil {
+			if err := checkFloatRange(o.Min, o.Max, o.Decimals); err != nil {
+				return fmt.Errorf("positive override: %w", err)
+			}
+		}
+	case "template":
+		if f.Template == "" {
+			return fmt.Errorf("template generator has no template")
+		}
+		if len(f.Template) > MaxTemplateLen {
+			return fmt.Errorf("template is %d bytes, limit %d", len(f.Template), MaxTemplateLen)
+		}
+		if f.Positive != nil {
+			return fmt.Errorf("template does not support a positive override")
+		}
+	case "const":
+		if f.Value == "" {
+			return fmt.Errorf("const generator has no value")
+		}
+		if len(f.Value) > MaxTemplateLen {
+			return fmt.Errorf("const value is %d bytes, limit %d", len(f.Value), MaxTemplateLen)
+		}
+		if f.Positive != nil {
+			return fmt.Errorf("const does not support a positive override")
+		}
+	default:
+		return fmt.Errorf("unknown generator kind %q", f.Gen)
+	}
+	return nil
+}
+
+func checkChoices(choices []string) error {
+	if len(choices) == 0 || len(choices) > MaxChoices {
+		return fmt.Errorf("pick needs 1..%d choices, got %d", MaxChoices, len(choices))
+	}
+	return nil
+}
+
+func checkIntRange(min, max, scale float64, format string) error {
+	for _, v := range []float64{min, max, scale} {
+		if v != math.Trunc(v) || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("int endpoints and scale must be integers, got min=%v max=%v scale=%v", min, max, scale)
+		}
+	}
+	if math.Abs(min) > MaxAbsValue || math.Abs(max) > MaxAbsValue {
+		return fmt.Errorf("int endpoints exceed |%d|", int64(MaxAbsValue))
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 1 || scale > MaxAbsValue {
+		return fmt.Errorf("int scale %v outside [1, %d]", scale, int64(MaxAbsValue))
+	}
+	if math.Abs(min)*scale > MaxAbsValue || math.Abs(max)*scale > MaxAbsValue {
+		return fmt.Errorf("int scaled endpoints exceed |%d|", int64(MaxAbsValue))
+	}
+	if min > max {
+		return fmt.Errorf("int range inverted: min %v > max %v", min, max)
+	}
+	if max-min+1 > MaxIntRange {
+		return fmt.Errorf("int range spans %v values, limit %d", max-min+1, MaxIntRange)
+	}
+	if format != "" {
+		if _, err := parsePad(format); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkFloatRange(min, max float64, decimals int) error {
+	if math.IsNaN(min) || math.IsInf(min, 0) || math.IsNaN(max) || math.IsInf(max, 0) {
+		return fmt.Errorf("float endpoints must be finite")
+	}
+	if math.Abs(min) > MaxAbsValue || math.Abs(max) > MaxAbsValue {
+		return fmt.Errorf("float endpoints exceed |%d|", int64(MaxAbsValue))
+	}
+	if min > max {
+		return fmt.Errorf("float range inverted: min %v > max %v", min, max)
+	}
+	if decimals < 0 || decimals > MaxDecimals {
+		return fmt.Errorf("float decimals %d outside [0, %d]", decimals, MaxDecimals)
+	}
+	return nil
+}
+
+// parsePad validates an integer printf format: literal text around
+// exactly one %d-family verb ("%d", "%06d", "P%d"). Pad widths are
+// capped so a hostile format cannot allocate megabytes of zero padding
+// per document.
+func parsePad(format string) (string, error) {
+	pct := strings.IndexByte(format, '%')
+	if pct < 0 || strings.IndexByte(format[pct+1:], '%') >= 0 {
+		return "", fmt.Errorf("format %q must contain exactly one %%d verb", format)
+	}
+	rest := format[pct+1:]
+	width, j := 0, 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		width = width*10 + int(rest[j]-'0')
+		if width > MaxPadWidth {
+			return "", fmt.Errorf("format %q pads wider than %d", format, MaxPadWidth)
+		}
+		j++
+	}
+	if j >= len(rest) || rest[j] != 'd' {
+		return "", fmt.Errorf("format %q is not a %%d form", format)
+	}
+	return format, nil
+}
+
+// checkName enforces the shared naming rule for domains, fields, columns,
+// and labels: non-empty, at most MaxNameLen runes, lowercase letters,
+// digits, '_' and '-' only, starting with a letter.
+func checkName(what, name string) error {
+	if name == "" {
+		return fmt.Errorf("spec: %s name is empty", what)
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("spec: %s name %q longer than %d", what, name[:MaxNameLen]+"…", MaxNameLen)
+	}
+	for i, r := range name {
+		ok := r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '-'
+		if i == 0 {
+			ok = r >= 'a' && r <= 'z'
+		}
+		if !ok {
+			return fmt.Errorf("spec: %s name %q must match [a-z][a-z0-9_-]*", what, name)
+		}
+	}
+	return nil
+}

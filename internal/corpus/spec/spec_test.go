@@ -1,0 +1,251 @@
+package spec
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// miniSpec is a small valid spec exercising every generator kind.
+const miniSpec = `{
+  "spec_version": 1,
+  "name": "mini",
+  "description": "unit-test domain",
+  "docs": 20,
+  "positive": {"label": "hot", "rate": 0.25},
+  "fields": [
+    {"name": "word", "gen": "pick", "choices": ["alpha", "beta", "gamma"],
+     "positive": {"choices": ["omega"]}},
+    {"name": "pair", "gen": "pickrow", "columns": ["key", "detail"],
+     "rows": [["red", "warm color"], ["blue", "cool color"]]},
+    {"name": "count", "gen": "int", "min": 1, "max": 5, "scale": 10,
+     "positive": {"min": 100, "max": 100}},
+    {"name": "ratio", "gen": "float", "min": 0, "max": 1, "decimals": 2},
+    {"name": "tag", "gen": "template", "template": "doc-{index1:%04d}-{word}"},
+    {"name": "unit", "gen": "const", "value": "items"}
+  ],
+  "filename": "mini-{index}.txt",
+  "text": "Tag {tag} pairs {pair} ({pair.detail}) with {count} {unit} at ratio {ratio}. Literal {{braces}} stay.\n",
+  "truth": {
+    "topics": ["mini doc", "{pair}"],
+    "fields": {"word": "{word}", "tag": "{tag}"},
+    "numbers": {"count": "{count}", "ratio": "{ratio}"}
+  }
+}`
+
+func compileMini(t *testing.T) *Compiled {
+	t.Helper()
+	s, err := Parse([]byte(miniSpec))
+	if err != nil {
+		t.Fatalf("parse mini spec: %v", err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatalf("compile mini spec: %v", err)
+	}
+	return c
+}
+
+func TestMiniSpecGenerates(t *testing.T) {
+	c := compileMini(t)
+	docs, err := corpus.Collect(c.Generator(0, -1, 9)) // n<=0 -> spec default 20
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if len(docs) != 20 {
+		t.Fatalf("got %d docs, want the spec default 20", len(docs))
+	}
+	hot := 0
+	for i, d := range docs {
+		if err := corpus.ValidateDoc(d); err != nil {
+			t.Fatalf("doc %d fails the truth contract: %v", i, err)
+		}
+		if d.Filename != fmt.Sprintf("mini-%d.txt", i) {
+			t.Fatalf("doc %d filename %q", i, d.Filename)
+		}
+		if !strings.Contains(d.Text, "Literal {braces} stay.") {
+			t.Fatalf("doc %d: brace escapes not honored: %q", i, d.Text)
+		}
+		if d.Truth.Labels["hot"] {
+			hot++
+			// The positive override replaces the whole draw, its own
+			// scale included (default 1) — same semantics as the support
+			// domain's urgent response-hours override.
+			if d.Truth.Numbers["count"] != 100 {
+				t.Fatalf("doc %d: hot count %v, want 100", i, d.Truth.Numbers["count"])
+			}
+			if d.Truth.Fields["word"] != "omega" {
+				t.Fatalf("doc %d: hot word %q, want omega", i, d.Truth.Fields["word"])
+			}
+		}
+	}
+	if hot != 5 { // round(20 * 0.25)
+		t.Fatalf("got %d hot docs, want exactly 5", hot)
+	}
+}
+
+func TestMiniSpecDeterminism(t *testing.T) {
+	c := compileMini(t)
+	a, _ := corpus.Collect(c.Generator(50, -1, 4))
+	b, _ := corpus.Collect(c.Generator(50, -1, 4))
+	for i := range a {
+		if docJSON(t, a[i]) != docJSON(t, b[i]) {
+			t.Fatalf("doc %d not deterministic", i)
+		}
+	}
+	other, _ := corpus.Collect(c.Generator(50, -1, 5))
+	same := 0
+	for i := range a {
+		if docJSON(t, a[i]) == docJSON(t, other[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("different seeds produced identical corpora")
+	}
+}
+
+// TestRegisterAndRoundTrip registers the compiled domain, generates a
+// corpus through the registry entry point, saves it as NDJSON, and runs
+// the on-disk validator — the full `pzcorpus generate -spec` path.
+func TestRegisterAndRoundTrip(t *testing.T) {
+	s, err := Parse([]byte(strings.Replace(miniSpec, `"name": "mini"`, `"name": "mini-roundtrip"`, 1)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := c.Register(); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c.Register(); err == nil {
+		t.Fatalf("second register should fail (duplicate name)")
+	}
+	g, err := corpus.NewGenerator("mini-roundtrip", 40, -1, 2)
+	if err != nil {
+		t.Fatalf("registry generator: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "mini.ndjson")
+	m, err := corpus.SaveNDJSON(path, g, 2, map[string]any{"spec": "mini-roundtrip"})
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if m.NumDocs != 40 || m.Domain != "mini-roundtrip" {
+		t.Fatalf("manifest: %d docs domain %q", m.NumDocs, m.Domain)
+	}
+	rep, err := corpus.ValidateNDJSON(path)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("on-disk corpus fails validation: %v", rep.Errors)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	mut := func(old, new string) string { return strings.Replace(miniSpec, old, new, 1) }
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty", ``, "EOF"},
+		{"not json", `nope`, "invalid character"},
+		{"oversized", `{"pad": "` + strings.Repeat("x", MaxSpecBytes) + `"}`, "limit"},
+		{"unknown key", mut(`"docs": 20`, `"docs": 20, "typo": 1`), "unknown field"},
+		{"trailing data", miniSpec + `{}`, "trailing data"},
+		{"bad version", mut(`"spec_version": 1`, `"spec_version": 99`), "unsupported spec_version"},
+		{"bad name", mut(`"name": "mini"`, `"name": "Mini!"`), "must match"},
+		{"empty name", mut(`"name": "mini"`, `"name": ""`), "name is empty"},
+		{"negative docs", mut(`"docs": 20`, `"docs": -5`), "must be positive"},
+		{"huge docs", mut(`"docs": 20`, `"docs": 999999999999`), "exceeds limit"},
+		{"bad rate", mut(`"rate": 0.25`, `"rate": 1.5`), "outside [0, 1]"},
+		{"no fields", mut(`"fields": [`, `"fields_off": [`), "unknown field"},
+		{"dup field", mut(`"name": "unit", "gen": "const"`, `"name": "word", "gen": "const"`), "duplicate field"},
+		{"builtin shadow", mut(`"name": "unit"`, `"name": "index"`), "shadows a builtin"},
+		{"no choices", mut(`"choices": ["alpha", "beta", "gamma"]`, `"choices": []`), "1..4096 choices"},
+		{"unknown gen", mut(`"gen": "const"`, `"gen": "magic"`), "unknown generator"},
+		{"ragged rows", mut(`["red", "warm color"]`, `["red"]`), "row 0 has 1 values"},
+		{"pickrow positive", mut(`"rows": [["red", "warm color"], ["blue", "cool color"]]`,
+			`"rows": [["red", "warm color"], ["blue", "cool color"]], "positive": {"choices": ["x"]}`),
+			"does not support a positive override"},
+		{"inverted int", mut(`"min": 1, "max": 5`, `"min": 5, "max": 1`), "range inverted"},
+		{"fractional int", mut(`"min": 1, "max": 5`, `"min": 1.5, "max": 5`), "must be integers"},
+		{"huge int range", mut(`"min": 1, "max": 5`, `"min": 0, "max": 99999999999`), "range spans"},
+		{"overflow scale", mut(`"scale": 10`, `"scale": 999999999999`), "scaled endpoints exceed"},
+		{"bad format", mut(`"gen": "int", "min": 1, "max": 5, "scale": 10`,
+			`"gen": "int", "min": 1, "max": 5, "format": "%s"`), "not a %d form"},
+		{"wide pad", mut(`"gen": "int", "min": 1, "max": 5, "scale": 10`,
+			`"gen": "int", "min": 1, "max": 5, "format": "%0999d"`), "pads wider"},
+		{"bad decimals", mut(`"decimals": 2`, `"decimals": 40`), "decimals 40 outside"},
+		{"empty template", mut(`"template": "doc-{index1:%04d}-{word}"`, `"template": ""`), "no template"},
+		{"empty const", mut(`"value": "items"`, `"value": ""`), "no value"},
+		{"no filename", mut(`"filename": "mini-{index}.txt"`, `"filename": ""`), "no filename"},
+		{"no text", mut(`"text": "Tag {tag}`, `"text_gone": "Tag {tag}`), "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted a bad spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	mut := func(old, new string) string { return strings.Replace(miniSpec, old, new, 1) }
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"unknown ref", mut(`"filename": "mini-{index}.txt"`, `"filename": "{nosuch}.txt"`), "names no field"},
+		{"template cycle", mut(`"template": "doc-{index1:%04d}-{word}"`, `"template": "see-{tag}"`),
+			"may not reference other template fields"},
+		{"pad on field", mut(`Tag {tag}`, `Tag {word:%06d}`), "index builtins only"},
+		{"col on pick", mut(`({pair.detail})`, `({word.detail})`), "not a pickrow field"},
+		{"unknown col", mut(`({pair.detail})`, `({pair.nosuch})`), "no column"},
+		{"col on builtin", mut(`"filename": "mini-{index}.txt"`, `"filename": "mini-{index.x}.txt"`), "takes no column"},
+		{"unclosed brace", mut(`"filename": "mini-{index}.txt"`, `"filename": "mini-{index.txt"`), "unclosed"},
+		{"unmatched close", mut(`"filename": "mini-{index}.txt"`, `"filename": "mini}.txt"`), "unmatched"},
+		{"number to pick", mut(`"numbers": {"count": "{count}", "ratio": "{ratio}"}`,
+			`"numbers": {"count": "{word}"}`), "want int or float"},
+		{"number not single ref", mut(`"numbers": {"count": "{count}", "ratio": "{ratio}"}`,
+			`"numbers": {"count": "n={count}"}`), "single {field} reference"},
+		{"bad truth name", mut(`"fields": {"word": "{word}"`, `"fields": {"WORD": "{word}"`), "must match"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse([]byte(tc.doc))
+			if err != nil {
+				// Some mutations are caught at parse time already.
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("parse error %q does not mention %q", err, tc.want)
+				}
+				return
+			}
+			_, err = Compile(s)
+			if err == nil {
+				t.Fatalf("Compile accepted a bad spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatalf("Load of a missing file should fail")
+	}
+}
