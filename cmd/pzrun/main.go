@@ -7,7 +7,8 @@
 //
 //	pzrun -spec pipeline.json [-policy max-quality] [-param 0] [-records 10]
 //	      [-parallelism 4] [-partitions 0] [-batch 0] [-progress] [-sample 0]
-//	      [-timeout 0] [-server http://host:8077] [-tenant name]
+//	      [-timeout 0] [-trace out.json]
+//	      [-server http://host:8077] [-tenant name]
 //
 // The spec format is internal/serve's wire Spec — the same JSON pzserve
 // accepts on /v1/query:
@@ -29,8 +30,12 @@
 // groupby, sort, retrieve. A policy in the spec wins over the -policy
 // flag, so a spec file submitted to pzserve behaves identically here.
 // -timeout bounds the run (local or remote) and exits non-zero when it
-// fires. With -server, dataset.dir is not needed: the daemon resolves
-// dataset.name against its own registry.
+// fires. -trace writes the query's span tree (per-stage and
+// per-partition record counts, observed selectivity, simulated time,
+// cost; see docs/howto-observability.md) to a JSON file — locally from
+// the engine's own trace, remotely by fetching /v1/jobs/{id}/trace
+// after the run. With -server, dataset.dir is not needed: the daemon
+// resolves dataset.name against its own registry.
 package main
 
 import (
@@ -46,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/pz"
 )
 
@@ -62,6 +68,7 @@ type options struct {
 	timeout     time.Duration
 	server      string
 	tenant      string
+	tracePath   string
 }
 
 func main() {
@@ -78,6 +85,7 @@ func main() {
 	flag.DurationVar(&opts.timeout, "timeout", 0, "abort the run after this long (0 = no timeout)")
 	flag.StringVar(&opts.server, "server", "", "submit the spec to a running pzserve at this base URL instead of executing locally")
 	flag.StringVar(&opts.tenant, "tenant", "", "tenant name sent to -server via X-PZ-Tenant")
+	flag.StringVar(&opts.tracePath, "trace", "", "write the query's trace (span tree) to this JSON file")
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()
@@ -161,6 +169,24 @@ func runLocal(ctx context.Context, sp *serve.Spec, opts options) error {
 	}
 	fmt.Println()
 	fmt.Print(res.Report(opts.maxRecords))
+	if opts.tracePath != "" {
+		if err := writeTrace(opts.tracePath, trace.NewDocument(res.Trace)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace renders a trace document to a file as indented JSON.
+func writeTrace(path string, doc *trace.Document) error {
+	data, err := doc.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pzrun: trace written to %s\n", path)
 	return nil
 }
 
@@ -233,7 +259,38 @@ func runRemote(ctx context.Context, sp *serve.Spec, opts options) error {
 	}
 	fmt.Printf("%d records (%d shown) in %d ms simulated, $%.4f%s\n",
 		r.Count, len(shown), r.ElapsedSimMS, r.CostUSD, cached)
+	if opts.tracePath != "" {
+		if err := fetchTrace(ctx, base, view.ID, opts.tracePath); err != nil {
+			return fmt.Errorf("fetch trace for job %s: %w", view.ID, err)
+		}
+	}
 	return nil
+}
+
+// fetchTrace retrieves a completed job's trace from the server and
+// writes it to a file.
+func fetchTrace(ctx context.Context, base, jobID, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+jobID+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var doc trace.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("parse trace: %w", err)
+	}
+	return writeTrace(path, &doc)
 }
 
 func indent(s string) string {

@@ -9,9 +9,12 @@ import (
 	"testing"
 	"time"
 
+	"encoding/json"
 	"repro/internal/corpus"
 	"repro/internal/dataset"
+
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/pz"
 )
 
@@ -205,4 +208,53 @@ func TestRunServerModeErrors(t *testing.T) {
 	if err := run(writeSpec(t, spec), opts); err == nil {
 		t.Error("remote run outlived the client timeout")
 	}
+}
+
+// TestRunTraceArtifact: -trace writes a versioned span-tree document in
+// both local and server mode (where it is fetched from the daemon after
+// the run).
+func TestRunTraceArtifact(t *testing.T) {
+	dir := demoCorpusDir(t)
+	spec := `{
+	  "dataset": {"name": "papers", "dir": "` + dir + `"},
+	  "ops": [{"op": "filter", "predicate": "The papers are about colorectal cancer"}]
+	}`
+	specPath := writeSpec(t, spec)
+
+	checkArtifact := func(path string) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("trace artifact not written: %v", err)
+		}
+		var doc trace.Document
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("trace artifact is not a document: %v", err)
+		}
+		if doc.SchemaVersion != trace.SchemaVersion {
+			t.Errorf("artifact schema v%d, want v%d", doc.SchemaVersion, trace.SchemaVersion)
+		}
+		if doc.Trace == nil || doc.Trace.Kind != trace.KindQuery || len(doc.Trace.Stages()) == 0 {
+			t.Errorf("artifact trace = %+v, want a query root with stages", doc.Trace)
+		}
+	}
+
+	opts := baseOptions("max-quality")
+	opts.tracePath = filepath.Join(t.TempDir(), "local.json")
+	if err := run(specPath, opts); err != nil {
+		t.Fatal(err)
+	}
+	checkArtifact(opts.tracePath)
+
+	remoteSpec := `{
+	  "dataset": {"name": "papers"},
+	  "ops": [{"op": "filter", "predicate": "The papers are about colorectal cancer"}]
+	}`
+	opts = baseOptions("min-cost")
+	opts.server = serveForTest(t, nil)
+	opts.tracePath = filepath.Join(t.TempDir(), "remote.json")
+	if err := run(writeSpec(t, remoteSpec), opts); err != nil {
+		t.Fatal(err)
+	}
+	checkArtifact(opts.tracePath)
 }

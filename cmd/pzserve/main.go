@@ -11,6 +11,7 @@
 //	        [-max-inflight 8] [-max-queue 16] [-plan-cache 128]
 //	        [-llm-cache=true] [-llm-cache-capacity 4096]
 //	        [-budget 0] [-tenant-budget alice=1.50]
+//	        [-slow-query-sim-sec 30]
 //	        [-cluster] [-worker w1=http://host:8078]
 //	        [-health-interval 5s] [-partition-timeout 60s]
 //	        [-partition-retries 3] [-straggler-after 30s]
@@ -27,8 +28,12 @@
 //	POST /v1/query            submit a pipeline spec (async; ?wait=1 blocks)
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        job status and result
+//	GET  /v1/jobs/{id}/trace  the job's query trace (span tree)
 //	POST /v1/jobs/{id}/cancel abort a job
-//	GET  /metrics             serving counters, caches, tenants, cluster
+//	GET  /v1/debug/traces     ring of recent query traces
+//	GET  /v1/debug/slowlog    slow-query log
+//	GET  /metrics             Prometheus text exposition (?format=json
+//	                          for counters, caches, tenants, cluster)
 //	GET  /healthz             liveness
 //	POST /v1/workers/register worker self-registration (cluster mode)
 //	POST /v1/workers/deregister
@@ -71,6 +76,7 @@ func main() {
 	llmCache := flag.Bool("llm-cache", true, "memoize LLM responses across queries")
 	llmCacheCap := flag.Int("llm-cache-capacity", 4096, "LLM cache entry bound (0 = unbounded)")
 	budget := flag.Float64("budget", 0, "default per-tenant cost budget in USD (0 = unlimited)")
+	slowQuerySec := flag.Float64("slow-query-sim-sec", 30, "slow-query log threshold in simulated seconds (0 disables /v1/debug/slowlog retention)")
 	clusterMode := flag.Bool("cluster", false, "act as a scatter/gather coordinator (mounts /v1/workers; implied by -worker)")
 	healthInterval := flag.Duration("health-interval", 5*time.Second, "worker health-check probe interval (cluster mode)")
 	partitionTimeout := flag.Duration("partition-timeout", 60*time.Second, "per-partition worker request timeout (cluster mode)")
@@ -114,7 +120,8 @@ func main() {
 		parallelism: *parallelism, partitions: *partitions, batch: *batch, sample: *sample,
 		maxInflight: *maxInflight, maxQueue: *maxQueue, planCache: *planCache,
 		llmCache: *llmCache, llmCacheCap: *llmCacheCap, budget: *budget,
-		cluster: *clusterMode || len(workers) > 0, workers: workers,
+		slowQuerySec: *slowQuerySec,
+		cluster:      *clusterMode || len(workers) > 0, workers: workers,
 		healthInterval: *healthInterval, partitionTimeout: *partitionTimeout,
 		partitionRetries: *partitionRetries, stragglerAfter: *stragglerAfter,
 	}); err != nil {
@@ -130,6 +137,7 @@ type serveOptions struct {
 	llmCache                         bool
 	llmCacheCap                      int
 	budget                           float64
+	slowQuerySec                     float64
 
 	cluster                          bool
 	workers                          map[string]string
@@ -147,6 +155,9 @@ func run(addr string, datasets map[string]string, budgets map[string]float64, op
 	}
 	if opts.cluster && opts.partitionRetries < 1 {
 		return fmt.Errorf("-partition-retries must be >= 1, got %d", opts.partitionRetries)
+	}
+	if opts.slowQuerySec < 0 {
+		return fmt.Errorf("-slow-query-sim-sec must be >= 0, got %v", opts.slowQuerySec)
 	}
 	ctx, err := pz.NewContext(pz.Config{
 		Parallelism:     opts.parallelism,
@@ -212,6 +223,8 @@ func run(addr string, datasets map[string]string, budgets map[string]float64, op
 		DefaultBudgetUSD: opts.budget,
 		TenantBudgets:    budgets,
 		Counters:         counters,
+		Histograms:       metrics.NewHistograms(),
+		SlowQuerySimSec:  opts.slowQuerySec,
 	}
 	if coord != nil {
 		cfg.Cluster = coord

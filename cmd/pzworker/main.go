@@ -23,7 +23,9 @@
 // API:
 //
 //	POST /v1/partition  execute a partition sub-plan, stream result chunks
-//	GET  /metrics       worker counters
+//	GET  /metrics       Prometheus text exposition: counters plus a
+//	                    per-partition sim-latency histogram (?format=json
+//	                    for the JSON form)
 //	GET  /healthz       liveness (the coordinator's health checks hit this)
 package main
 

@@ -26,11 +26,13 @@ import (
 	"repro/internal/corpus/spec"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/pz"
 )
 
-// SchemaVersion is the trajectory artifact format version.
-const SchemaVersion = 1
+// SchemaVersion is the trajectory artifact format version. v2 added the
+// per-cell trace summary digest.
+const SchemaVersion = 2
 
 // Limits on track shape: tracks are user input, and every knob multiplies
 // the grid, so each axis is bounded before the runner fans out.
@@ -234,6 +236,53 @@ type Cell struct {
 	// pipeline has no leading filter or in server mode, where the bench
 	// client does not see truth-bearing records).
 	Quality *Quality `json:"quality,omitempty"`
+	// Trace is the per-stage digest of the cell's query trace: where the
+	// simulated time, cost, and records went, stage by stage. Nil when
+	// the engine (or a remote pzserve) produced no trace.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceSummary condenses a cell's query trace into the flat per-stage
+// rows a trajectory diff cares about, dropping the span tree's
+// partition/worker detail.
+type TraceSummary struct {
+	Stages []TraceStage `json:"stages"`
+}
+
+// TraceStage is one stage row of a cell's trace summary.
+type TraceStage struct {
+	Op          string  `json:"op"`
+	RecordsIn   int     `json:"records_in"`
+	RecordsOut  int     `json:"records_out"`
+	Selectivity float64 `json:"selectivity"`
+	LLMCalls    int     `json:"llm_calls,omitempty"`
+	CostUSD     float64 `json:"cost_usd"`
+	SimMS       int64   `json:"sim_ms"`
+}
+
+// summarizeTrace digests a query trace into per-stage rows. Costs are
+// rounded like Cell.CostUSD so identical runs emit byte-identical
+// artifacts despite completion-order float accumulation.
+func summarizeTrace(root *trace.Span) *TraceSummary {
+	if root == nil {
+		return nil
+	}
+	var sum TraceSummary
+	for _, st := range root.Stages() {
+		sum.Stages = append(sum.Stages, TraceStage{
+			Op:          st.OpID,
+			RecordsIn:   st.RecordsIn,
+			RecordsOut:  st.RecordsOut,
+			Selectivity: st.Selectivity,
+			LLMCalls:    st.LLMCalls,
+			CostUSD:     math.Round(st.CostUSD*1e6) / 1e6,
+			SimMS:       st.SimMS,
+		})
+	}
+	if len(sum.Stages) == 0 {
+		return nil
+	}
+	return &sum
 }
 
 // Trajectory is the single benchmark artifact one track run emits.
@@ -492,6 +541,7 @@ func runCellLocal(cell *Cell, d *TrackDataset, pspec *serve.Spec, par, parts int
 	cell.Candidates = res.Candidates
 	cell.ElapsedSimMS = res.Elapsed.Milliseconds()
 	cell.CostUSD = res.CostUSD
+	cell.Trace = summarizeTrace(res.Trace)
 	if pred := leadingFilter(d.Ops); pred != "" {
 		inputs, err := src.Records()
 		if err != nil {
@@ -528,6 +578,7 @@ func runCellServer(cell *Cell, pspec *serve.Spec, url string) error {
 	}
 	defer resp.Body.Close()
 	var view struct {
+		ID     string             `json:"id"`
 		Status string             `json:"status"`
 		Error  string             `json:"error"`
 		Result *serve.QueryResult `json:"result"`
@@ -542,5 +593,29 @@ func runCellServer(cell *Cell, pspec *serve.Spec, url string) error {
 	cell.Candidates = view.Result.Candidates
 	cell.ElapsedSimMS = view.Result.ElapsedSimMS
 	cell.CostUSD = view.Result.CostUSD
+	// The trace digest is best-effort in server mode: an older daemon
+	// without /v1/jobs/{id}/trace just leaves cell.Trace nil.
+	cell.Trace = fetchCellTrace(url, view.ID)
 	return nil
+}
+
+// fetchCellTrace retrieves and digests a completed job's trace, returning
+// nil on any failure.
+func fetchCellTrace(url, jobID string) *TraceSummary {
+	if jobID == "" {
+		return nil
+	}
+	resp, err := http.Get(strings.TrimRight(url, "/") + "/v1/jobs/" + jobID + "/trace")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var doc trace.Document
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	return summarizeTrace(doc.Trace)
 }

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -172,6 +173,10 @@ func TestRunDeterministicAndCorpusReuse(t *testing.T) {
 			t.Fatalf("cell %d quality not deterministic: %+v vs %+v", i, ca.Quality, cb.Quality)
 		}
 		ca.Quality, cb.Quality = nil, nil
+		if !reflect.DeepEqual(ca.Trace, cb.Trace) {
+			t.Fatalf("cell %d trace not deterministic:\n  %+v\n  %+v", i, ca.Trace, cb.Trace)
+		}
+		ca.Trace, cb.Trace = nil, nil
 		if ca != cb {
 			t.Fatalf("cell %d not deterministic:\n  %+v\n  %+v", i, ca, cb)
 		}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/schema"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 	"repro/pz"
 )
@@ -641,7 +642,54 @@ func TestServeDistributedQuery(t *testing.T) {
 		t.Errorf("plan %q does not show scatter execution", view.Result.Plan)
 	}
 
-	mresp, err := http.Get(front.URL + "/metrics")
+	// The job's trace must be the coordinator's span tree: a query root
+	// over one span per scattered partition, each embedding the executing
+	// worker's own spans, reconciling with the job's reported stats.
+	tresp, err := http.Get(front.URL + "/v1/jobs/" + view.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tresp.StatusCode)
+	}
+	var doc trace.Document
+	if err := json.NewDecoder(tresp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != trace.SchemaVersion || doc.JobID != view.ID {
+		t.Errorf("trace document = v%d job %q, want v%d job %q",
+			doc.SchemaVersion, doc.JobID, trace.SchemaVersion, view.ID)
+	}
+	root := doc.Trace
+	if root == nil || root.Kind != trace.KindQuery || root.Name != "cluster-scatter" {
+		t.Fatalf("trace root = %+v, want a cluster-scatter query span", root)
+	}
+	parts := root.FindAll(trace.KindPartition)
+	if len(parts) != 4 {
+		t.Fatalf("trace has %d partition spans, want 4", len(parts))
+	}
+	workerSpans := root.FindAll(trace.KindWorker)
+	if len(workerSpans) == 0 {
+		t.Fatal("coordinator trace embeds no worker spans")
+	}
+	var partOut int
+	for _, p := range parts {
+		partOut += p.RecordsOut
+	}
+	if suffix := root.FindAll(trace.KindSuffix); len(suffix) == 1 {
+		if suffix[0].RecordsIn != partOut {
+			t.Errorf("suffix consumed %d records, scatter produced %d", suffix[0].RecordsIn, partOut)
+		}
+	}
+	if root.RecordsOut != view.Result.Count {
+		t.Errorf("trace root out = %d records, job reported %d", root.RecordsOut, view.Result.Count)
+	}
+	if root.SimMS != view.Result.ElapsedSimMS {
+		t.Errorf("trace root sim = %d ms, job reported %d", root.SimMS, view.Result.ElapsedSimMS)
+	}
+
+	mresp, err := http.Get(front.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -681,5 +729,113 @@ func TestSpecValidation(t *testing.T) {
 	}
 	if _, err := NewCoordinator(Config{}); err == nil {
 		t.Error("coordinator without registry accepted")
+	}
+}
+
+// TestWorkerMetricsExposition: after executing partitions, a worker's
+// /metrics serves Prometheus text (the same renderer pzserve uses) with
+// the per-partition latency histogram, and ?format=json keeps the
+// structured snapshot.
+func TestWorkerMetricsExposition(t *testing.T) {
+	path := writeTicketCorpus(t, 60)
+	reg := NewRegistry(RegistryConfig{})
+	wsrv := startWorker(t, reg, "a", path, nil)
+	coord := newTestCoordinator(t, reg, Config{})
+	if _, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), ticketSpec(3), 3); err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+
+	resp, err := http.Get(wsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.PromContentType {
+		t.Errorf("content type %q, want %q", ct, metrics.PromContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, frag := range []string{
+		"# TYPE pz_worker_partition_sim_seconds histogram",
+		`pz_worker_partition_sim_seconds_bucket{le="+Inf"} 3`,
+		"pz_worker_partition_sim_seconds_count 3",
+		"# TYPE pz_worker_partitions_served gauge\npz_worker_partitions_served 3",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("worker /metrics missing %q:\n%s", frag, text)
+		}
+	}
+
+	jresp, err := http.Get(wsrv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var m struct {
+		Worker     string                           `json:"worker"`
+		Counters   map[string]int64                 `json:"counters"`
+		Histograms map[string]metrics.HistogramView `json:"histograms"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Worker != "a" || m.Counters["worker_partitions_served"] != 3 {
+		t.Errorf("json metrics = %+v", m)
+	}
+	if h, ok := m.Histograms["worker_partition_sim_seconds"]; !ok || h.Count != 3 {
+		t.Errorf("json histogram view = %+v", m.Histograms)
+	}
+}
+
+// TestDistributedTraceReconciles: the coordinator's trace reconciles
+// with its own DistResult — partition spans carry the executing worker
+// and their sim times fold into the cluster clock (scatter = slowest
+// executor), with worker-side stage spans embedded under each.
+func TestDistributedTraceReconciles(t *testing.T) {
+	path := writeTicketCorpus(t, 80)
+	reg := NewRegistry(RegistryConfig{})
+	startWorker(t, reg, "a", path, nil)
+	startWorker(t, reg, "b", path, nil)
+	coord := newTestCoordinator(t, reg, Config{})
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), ticketSpec(4), 4)
+	if err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+	root := dres.Trace
+	if root == nil || root.Kind != trace.KindQuery {
+		t.Fatalf("DistResult trace root = %+v", root)
+	}
+	if root.SimMS != dres.Elapsed.Milliseconds() {
+		t.Errorf("root sim %d ms != DistResult elapsed %d ms", root.SimMS, dres.Elapsed.Milliseconds())
+	}
+	if root.RecordsOut != len(dres.Records) {
+		t.Errorf("root out %d != %d gathered records", root.RecordsOut, len(dres.Records))
+	}
+	parts := root.FindAll(trace.KindPartition)
+	if len(parts) != 4 {
+		t.Fatalf("%d partition spans, want 4", len(parts))
+	}
+	var outSum int
+	for _, p := range parts {
+		if p.Worker == "" {
+			t.Errorf("partition %v names no executing worker", p.Partition)
+		}
+		if len(p.FindAll(trace.KindWorker)) == 0 {
+			t.Errorf("partition %v embeds no worker-side spans", p.Partition)
+		}
+		outSum += p.RecordsOut
+	}
+	if outSum != len(dres.Records) {
+		t.Errorf("partition outputs sum to %d, gathered %d", outSum, len(dres.Records))
+	}
+	// Worker-side spans carry their own stage detail across the wire.
+	for _, ws := range root.FindAll(trace.KindWorker) {
+		if len(ws.Stages()) == 0 {
+			t.Errorf("embedded worker span %q has no stage spans", ws.Worker)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/schema"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/pz"
 )
 
@@ -194,18 +195,42 @@ func (c *Coordinator) TryExecute(ctx context.Context, pzctx *pz.Context, spec *s
 	// Merge in partition order: each partition's records are already in
 	// dataset order, and partitions tile the corpus contiguously, so
 	// concatenation by ordinal reproduces the sequential scan exactly.
+	// Each gathered partition becomes a partition span embedding the
+	// executing side's own trace (re-rooted as a worker span), so the
+	// coordinator trace explains the whole cluster run.
 	var merged []*record.Record
 	var cost float64
+	var totalDocs int
 	perExec := map[string]time.Duration{}
 	workers := map[string]bool{}
+	scatterSpan := &trace.Span{Kind: trace.KindScatter, Name: "scatter"}
 	for part := range ranges {
 		res := done[part]
 		merged = append(merged, res.Records...)
 		cost += res.CostUSD
+		totalDocs += ranges[part].Docs
 		perExec[execBy[part]] += res.Elapsed
 		if execBy[part] != "local" {
 			workers[execBy[part]] = true
 		}
+		pspan := &trace.Span{
+			Kind:        trace.KindPartition,
+			Name:        fmt.Sprintf("partition %d", part),
+			Partition:   trace.Ordinal(part),
+			Worker:      execBy[part],
+			RecordsIn:   ranges[part].Docs,
+			RecordsOut:  len(res.Records),
+			Selectivity: trace.Selectivity(ranges[part].Docs, len(res.Records)),
+			SimMS:       res.Elapsed.Milliseconds(),
+			CostUSD:     res.CostUSD,
+		}
+		if res.Trace != nil {
+			wt := res.Trace
+			wt.Kind = trace.KindWorker
+			wt.Worker = execBy[part]
+			pspan.Add(wt)
+		}
+		scatterSpan.Add(pspan)
 	}
 	// Cluster clock model: each executor worked through its partitions
 	// serially while executors ran in parallel, so the scatter phase
@@ -216,6 +241,14 @@ func (c *Coordinator) TryExecute(ctx context.Context, pzctx *pz.Context, spec *s
 			elapsed = d
 		}
 	}
+	scatterSpan.RecordsIn = totalDocs
+	scatterSpan.RecordsOut = len(merged)
+	scatterSpan.Selectivity = trace.Selectivity(totalDocs, len(merged))
+	scatterSpan.SimMS = elapsed.Milliseconds()
+	scatterSpan.CostUSD = cost
+
+	root := &trace.Span{Kind: trace.KindQuery, Name: "cluster-scatter", RecordsIn: totalDocs}
+	root.Add(scatterSpan)
 
 	records := merged
 	if len(suffix) > 0 {
@@ -226,7 +259,22 @@ func (c *Coordinator) TryExecute(ctx context.Context, pzctx *pz.Context, spec *s
 		records = sres.Records
 		cost += sres.CostUSD
 		elapsed += sres.Elapsed
+		suffixSpan := sres.Trace
+		if suffixSpan == nil {
+			suffixSpan = &trace.Span{}
+		}
+		suffixSpan.Kind = trace.KindSuffix
+		suffixSpan.Name = "suffix"
+		suffixSpan.RecordsIn = len(merged)
+		suffixSpan.RecordsOut = len(records)
+		root.Add(suffixSpan)
 	}
+	root.RecordsOut = len(records)
+	root.Selectivity = trace.Selectivity(totalDocs, len(records))
+	root.SimMS = elapsed.Milliseconds()
+	root.CostUSD = cost
+	root.SetAttr("partitions", fmt.Sprint(len(ranges)))
+	root.SetAttr("workers", fmt.Sprint(len(workers)))
 	c.counters.Inc("cluster_queries_distributed")
 	return &serve.DistResult{
 		Records: records,
@@ -236,6 +284,7 @@ func (c *Coordinator) TryExecute(ctx context.Context, pzctx *pz.Context, spec *s
 		CostUSD:    cost,
 		Workers:    len(workers),
 		Partitions: len(ranges),
+		Trace:      root,
 	}, true, nil
 }
 
@@ -265,7 +314,7 @@ func (c *Coordinator) runSuffix(ctx context.Context, name string, s *schema.Sche
 	if err != nil {
 		return nil, err
 	}
-	return &PartitionResult{Records: res.Records, Elapsed: res.Elapsed, CostUSD: res.CostUSD}, nil
+	return &PartitionResult{Records: res.Records, Elapsed: res.Elapsed, CostUSD: res.CostUSD, Trace: res.Trace}, nil
 }
 
 // attemptOutcome is one finished partition attempt (remote or local).
@@ -501,7 +550,8 @@ func (c *Coordinator) remote(ctx context.Context, w WorkerRef, preq *PartitionRe
 				return nil, err
 			}
 			return &PartitionResult{Records: recs,
-				Elapsed: time.Duration(ch.ElapsedSimMS) * time.Millisecond, CostUSD: ch.CostUSD}, nil
+				Elapsed: time.Duration(ch.ElapsedSimMS) * time.Millisecond, CostUSD: ch.CostUSD,
+				Trace: ch.Trace}, nil
 		}
 		chunks = append(chunks, ch)
 	}

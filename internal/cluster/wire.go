@@ -24,6 +24,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/schema"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/pz"
 )
 
@@ -100,6 +101,10 @@ type PartitionChunk struct {
 	// only).
 	ElapsedSimMS int64   `json:"elapsed_sim_ms,omitempty"`
 	CostUSD      float64 `json:"cost_usd,omitempty"`
+	// Trace is the partition run's span tree (Done chunk only), so the
+	// coordinator can embed worker-side spans under its own partition
+	// spans.
+	Trace *trace.Span `json:"trace,omitempty"`
 	// Error reports a worker-side execution failure (terminal).
 	Error string `json:"error,omitempty"`
 }
@@ -110,6 +115,8 @@ type PartitionResult struct {
 	Records []*record.Record
 	Elapsed time.Duration
 	CostUSD float64
+	// Trace is the executing side's span tree for the partition run.
+	Trace *trace.Span
 }
 
 // EncodeRecords renders records into their wire form.
@@ -214,5 +221,5 @@ func ExecutePartition(ctx context.Context, req *PartitionRequest, path string, p
 	if err != nil {
 		return nil, err
 	}
-	return &PartitionResult{Records: res.Records, Elapsed: res.Elapsed, CostUSD: res.CostUSD}, nil
+	return &PartitionResult{Records: res.Records, Elapsed: res.Elapsed, CostUSD: res.CostUSD, Trace: res.Trace}, nil
 }

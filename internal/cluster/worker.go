@@ -24,6 +24,9 @@ type WorkerConfig struct {
 	Datasets map[string]string
 	// Counters optionally shares a metrics registry; nil allocates one.
 	Counters *metrics.Counters
+	// Histograms optionally shares a distribution registry; nil
+	// allocates one.
+	Histograms *metrics.Histograms
 }
 
 // Worker executes scattered partitions for a coordinator: each
@@ -33,6 +36,7 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg      WorkerConfig
 	counters *metrics.Counters
+	hists    *metrics.Histograms
 }
 
 // NewWorker builds a Worker.
@@ -49,7 +53,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Counters == nil {
 		cfg.Counters = metrics.NewCounters()
 	}
-	return &Worker{cfg: cfg, counters: cfg.Counters}, nil
+	if cfg.Histograms == nil {
+		cfg.Histograms = metrics.NewHistograms()
+	}
+	return &Worker{cfg: cfg, counters: cfg.Counters, hists: cfg.Histograms}, nil
 }
 
 // Name returns the worker's label.
@@ -62,13 +69,23 @@ func (w *Worker) Counters() *metrics.Counters { return w.counters }
 //
 //	POST /v1/partition execute one scattered partition, streaming NDJSON
 //	                   chunks (terminal chunk has done=true)
-//	GET  /metrics      worker counters
+//	GET  /metrics      Prometheus text exposition (the same renderer
+//	                   pzserve uses); ?format=json keeps the JSON snapshot
 //	GET  /healthz      liveness (the registry's health checks poll it)
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/partition", w.handlePartition)
 	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
-		writeJSON(rw, http.StatusOK, map[string]any{"worker": w.cfg.Name, "counters": w.counters.Snapshot()})
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(rw, http.StatusOK, map[string]any{
+				"worker":     w.cfg.Name,
+				"counters":   w.counters.Snapshot(),
+				"histograms": w.hists.Snapshot(),
+			})
+			return
+		}
+		rw.Header().Set("Content-Type", metrics.PromContentType)
+		metrics.RenderProm(rw, "pz", w.counters, w.hists, nil)
 	})
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok", "worker": w.cfg.Name})
@@ -105,6 +122,7 @@ func (w *Worker) handlePartition(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.counters.Inc("worker_partitions_served")
 	w.counters.Add("worker_records_streamed", int64(len(res.Records)))
+	w.hists.Observe("worker_partition_sim_seconds", metrics.LatencyBuckets, res.Elapsed.Seconds())
 
 	rw.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(rw)
@@ -124,7 +142,7 @@ func (w *Worker) handlePartition(rw http.ResponseWriter, r *http.Request) {
 		}
 	}
 	_ = enc.Encode(PartitionChunk{Seq: seq, Done: true,
-		ElapsedSimMS: res.Elapsed.Milliseconds(), CostUSD: res.CostUSD})
+		ElapsedSimMS: res.Elapsed.Milliseconds(), CostUSD: res.CostUSD, Trace: res.Trace})
 	if flusher != nil {
 		flusher.Flush()
 	}

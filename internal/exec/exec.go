@@ -34,6 +34,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/record"
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // Config configures an Executor.
@@ -74,6 +75,12 @@ type Config struct {
 	// on the sequential engine. Events are serialized; the callback never
 	// runs concurrently with itself.
 	OnProgress func(Progress)
+	// TraceSink, when set, receives the completed span tree of every
+	// top-level execution (Execute / ExecutePlan paths), after the
+	// optimize span and plan attributes are attached. The callback may
+	// run concurrently with itself when runs overlap; the span is not
+	// mutated after delivery.
+	TraceSink func(*trace.Span)
 }
 
 // Executor owns the LLM service, virtual clock, and retry client for a
@@ -168,6 +175,10 @@ type Result struct {
 	// CostUSD is the total LLM cost of the run (including sentinel
 	// sampling when enabled).
 	CostUSD float64
+	// Trace is the run's span tree: per-stage (and, when partitioned,
+	// per-partition) record counts, observed selectivity, simulated
+	// time, cost, and LLM-call accounting. See internal/trace.
+	Trace *trace.Span
 }
 
 // RunPhysical executes an explicit physical operator sequence, selecting
@@ -243,11 +254,13 @@ func (e *Executor) RunSequentialContext(ctx context.Context, phys []ops.Physical
 	}
 	elapsed := tally.Total()
 	e.clock.Sleep(elapsed)
+	cost := rctx.Stats.TotalCost()
 	return &Result{
 		Records: recs,
 		Stats:   rctx.Stats,
 		Elapsed: elapsed,
-		CostUSD: rctx.Stats.TotalCost(),
+		CostUSD: cost,
+		Trace:   buildRunTrace("sequential", rctx.Stats, elapsed, cost, nil),
 	}, nil
 }
 
@@ -297,6 +310,22 @@ func (e *Executor) ExecuteContext(ctx context.Context, chain []ops.Logical, poli
 	// single-count backoff accounting intact (see RunPipelined).
 	res.Elapsed = optElapsed + res.Elapsed
 	res.CostUSD = optCtx.Stats.TotalCost() + res.CostUSD
+	if res.Trace != nil {
+		opt := &trace.Span{
+			Kind:     trace.KindOptimize,
+			Name:     "optimize",
+			SimMS:    optElapsed.Milliseconds(),
+			CostUSD:  optCtx.Stats.TotalCost(),
+			LLMCalls: optCtx.Stats.TotalLLMCalls(),
+		}
+		res.Trace.Children = append([]*trace.Span{opt}, res.Trace.Children...)
+		res.Trace.SimMS = res.Elapsed.Milliseconds()
+		res.Trace.CostUSD = res.CostUSD
+		res.Trace.SetAttr("policy", res.Policy)
+		res.Trace.SetAttr("plan", plan.String())
+		res.Trace.SetAttr("candidates", fmt.Sprint(res.Candidates))
+		e.emitTrace(res.Trace)
+	}
 	return res, nil
 }
 
@@ -313,6 +342,12 @@ func (e *Executor) ExecutePlanContext(ctx context.Context, plan *optimizer.Plan,
 	}
 	res.Plan = plan
 	res.Policy = policyDesc
+	if res.Trace != nil {
+		res.Trace.SetAttr("policy", policyDesc)
+		res.Trace.SetAttr("plan", plan.String())
+		res.Trace.SetAttr("plan_cached", "true")
+		e.emitTrace(res.Trace)
+	}
 	return res, nil
 }
 

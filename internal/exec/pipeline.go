@@ -197,8 +197,12 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 
 	// partTallies[p][i] is partition p's stage-i clock in the partitioned
 	// prefix; the run's wall-clock takes the maximum across partitions,
-	// because partitions execute concurrently.
+	// because partitions execute concurrently. partIn/partOut mirror the
+	// layout with per-cell record counts for the trace's partition spans:
+	// exactly one goroutine writes each (p, i) cell, and they are read
+	// only after wg.Wait, so no locking is needed.
 	var partTallies [][]*simclock.Tally
+	var partIn, partOut [][]int
 
 	switch {
 	case pstream != nil:
@@ -231,7 +235,11 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 		// closer goroutine shuts it once every partition has drained.
 		var mergeWG sync.WaitGroup
 		partTallies = make([][]*simclock.Tally, len(pplans))
+		partIn = make([][]int, len(pplans))
+		partOut = make([][]int, len(pplans))
 		for p := range pplans {
+			partIn[p] = make([]int, prefixEnd)
+			partOut[p] = make([]int, prefixEnd)
 			// Exactly one goroutine per partition feeds the merge channel:
 			// the source itself when the prefix is just the scan, the last
 			// map stage otherwise.
@@ -267,6 +275,7 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 						return cctx.Err() // sends only fail on cancellation
 					}
 					seq++
+					partOut[p][0] += len(recs)
 					note(0, len(recs))
 					return nil
 				})
@@ -296,6 +305,8 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 						if !send(out, batch{seq: b.seq, recs: outRecs}) {
 							return
 						}
+						partIn[p][pos] += len(b.recs)
+						partOut[p][pos] += len(outRecs)
 						note(pos, len(outRecs))
 					}
 				}(i, local[i-1], local[i], pctxs[i])
@@ -457,12 +468,18 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 	}
 	wall := ops.PipelinedWallTime(phys, stageTimes)
 	e.clock.Sleep(wall)
+	cost := root.Stats.TotalCost()
+	tr := buildRunTrace("pipelined", root.Stats, wall, cost, stageTimes)
+	if partTallies != nil {
+		attachPartitionSpans(tr, prefixEnd, partIn, partOut, partTallies)
+	}
 	return &Result{
 		Records: recs,
 		Stats:   root.Stats,
 		Elapsed: wall,
 		// Cost comes from the run's own stats, not a shared-service diff,
 		// so concurrent runs over one Executor account independently.
-		CostUSD: root.Stats.TotalCost(),
+		CostUSD: cost,
+		Trace:   tr,
 	}, nil
 }

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ops"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Trace assembly. Both engines build a query-rooted span tree from the
+// run's per-operator statistics: one stage span per physical operator,
+// and (on the pipelined engine's partitioned prefix) one partition span
+// per (partition, stage) cell. ExecuteContext prepends the optimize
+// span and stamps plan/policy attributes; the TraceSink fires once per
+// top-level execution there and in ExecutePlanContext — never from the
+// inner Run* entry points, so a sink observes each query exactly once.
+
+// buildRunTrace assembles the root query span and its per-stage
+// children. stageTimes, when non-nil, overrides each stage span's
+// simulated duration with the engine's folded per-stage wall
+// contribution (the pipelined engine); otherwise the operator's own
+// accumulated time is used (the sequential engine).
+func buildRunTrace(engine string, stats *ops.RunStats, elapsed time.Duration, cost float64, stageTimes []time.Duration) *trace.Span {
+	root := &trace.Span{
+		Kind:    trace.KindQuery,
+		Name:    engine,
+		SimMS:   elapsed.Milliseconds(),
+		CostUSD: cost,
+	}
+	opStats := stats.Ops()
+	for i, op := range opStats {
+		simMS := op.Time.Milliseconds()
+		if stageTimes != nil && op.Position < len(stageTimes) {
+			simMS = stageTimes[op.Position].Milliseconds()
+		}
+		root.Add(&trace.Span{
+			Kind:         trace.KindStage,
+			Name:         op.OpID,
+			OpID:         op.OpID,
+			OpIndex:      op.Position,
+			RecordsIn:    op.InRecords,
+			RecordsOut:   op.OutRecords,
+			Selectivity:  trace.Selectivity(op.InRecords, op.OutRecords),
+			SimMS:        simMS,
+			CostUSD:      op.CostUSD,
+			LLMCalls:     op.LLMCalls,
+			InputTokens:  op.InputTokens,
+			OutputTokens: op.OutputTokens,
+			CacheHits:    op.CacheHits,
+		})
+		if i == 0 {
+			root.RecordsIn = op.InRecords
+		}
+		if i == len(opStats)-1 {
+			root.RecordsOut = op.OutRecords
+		}
+		root.LLMCalls += op.LLMCalls
+		root.InputTokens += op.InputTokens
+		root.OutputTokens += op.OutputTokens
+		root.CacheHits += op.CacheHits
+	}
+	return root
+}
+
+// attachPartitionSpans nests one partition span per (partition, stage)
+// cell under the stage spans of the partitioned prefix, carrying each
+// partition's own record counts and stage clock. The count arrays are
+// written by exactly one goroutine per cell and read only after the
+// pipeline's WaitGroup drains, so no locking is needed here.
+func attachPartitionSpans(root *trace.Span, prefixEnd int, partIn, partOut [][]int, partTallies [][]*simclock.Tally) {
+	for _, stage := range root.Children {
+		if stage.Kind != trace.KindStage || stage.OpIndex >= prefixEnd {
+			continue
+		}
+		i := stage.OpIndex
+		for p := range partTallies {
+			stage.Add(&trace.Span{
+				Kind:        trace.KindPartition,
+				Name:        fmt.Sprintf("partition %d", p),
+				Partition:   trace.Ordinal(p),
+				RecordsIn:   partIn[p][i],
+				RecordsOut:  partOut[p][i],
+				Selectivity: trace.Selectivity(partIn[p][i], partOut[p][i]),
+				SimMS:       partTallies[p][i].Total().Milliseconds(),
+			})
+		}
+	}
+}
+
+// emitTrace delivers a completed top-level trace to the configured sink.
+func (e *Executor) emitTrace(span *trace.Span) {
+	if span != nil && e.cfg.TraceSink != nil {
+		e.cfg.TraceSink(span)
+	}
+}

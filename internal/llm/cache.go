@@ -184,6 +184,7 @@ func (c *CachedClient) Complete(req Request) (*Response, error) {
 		hit := cached
 		hit.CostUSD = 0
 		hit.Latency = 0
+		hit.Cached = true
 		hit.Extractions = copyExtractions(cached.Extractions)
 		return &hit, nil
 	}

@@ -81,6 +81,10 @@ type Response struct {
 	// service does not advance any clock itself; callers account for
 	// latency so parallel executors can overlap calls correctly.
 	Latency time.Duration
+	// Cached marks a response answered from a CachedClient's cache
+	// rather than the (simulated) model, so per-op stats and traces can
+	// account cache effectiveness.
+	Cached bool
 }
 
 // Usage accumulates per-model accounting.

@@ -1,13 +1,17 @@
 package metrics
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Counters is a named set of counters, the minimal registry the serving
 // layer's /metrics endpoint exposes (admissions, rejections, plan-cache
 // hits, completions, cluster scatter/retry totals). Most entries are
 // monotonic via Add/Inc; Set supports the few gauge-style readings.
-// Safe for concurrent use; the zero-valued struct is not usable —
-// construct with NewCounters.
+// Safe for concurrent use; the zero value is ready to use (the map is
+// allocated lazily under the mutex), and NewCounters remains for
+// explicit construction.
 type Counters struct {
 	mu sync.Mutex
 	m  map[string]int64
@@ -19,6 +23,9 @@ func NewCounters() *Counters { return &Counters{m: map[string]int64{}} }
 // Add increases the named counter by delta (creating it at zero first).
 func (c *Counters) Add(name string, delta int64) {
 	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]int64{}
+	}
 	c.m[name] += delta
 	c.mu.Unlock()
 }
@@ -31,6 +38,9 @@ func (c *Counters) Inc(name string) { c.Add(name, 1) }
 // registry's currently-healthy worker count).
 func (c *Counters) Set(name string, v int64) {
 	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]int64{}
+	}
 	c.m[name] = v
 	c.mu.Unlock()
 }
@@ -51,4 +61,17 @@ func (c *Counters) Snapshot() map[string]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+// Names returns every counter name in sorted order, the deterministic
+// iteration order the text exposition renderer requires.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names
 }

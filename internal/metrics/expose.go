@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type for the text exposition format
+// both pzserve and pzworker serve on /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// RenderProm writes counters, gauges, and histograms in the Prometheus
+// text exposition format (version 0.0.4). Output is deterministic:
+// metric families are emitted in sorted name order. Counter entries are
+// typed `gauge` because Counters.Set gives them gauge semantics (a
+// scraper must not assume monotonicity). Any of the three sources may
+// be nil.
+func RenderProm(w io.Writer, namespace string, counters *Counters, hists *Histograms, gauges map[string]float64) {
+	type family struct {
+		name string
+		emit func()
+	}
+	var fams []family
+
+	if counters != nil {
+		snap := counters.Snapshot()
+		for _, name := range counters.Names() {
+			n := metricName(namespace, name)
+			v := snap[name]
+			fams = append(fams, family{n, func() {
+				fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, v)
+			}})
+		}
+	}
+	for name, v := range gauges {
+		n := metricName(namespace, name)
+		v := v
+		fams = append(fams, family{n, func() {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(v))
+		}})
+	}
+	if hists != nil {
+		views := hists.Snapshot()
+		for _, name := range hists.Names() {
+			n := metricName(namespace, name)
+			view := views[name]
+			fams = append(fams, family{n, func() {
+				fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+				for i, bound := range view.Bounds {
+					fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, formatFloat(bound), view.Cumulative[i])
+				}
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, view.Count)
+				fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(view.Sum))
+				fmt.Fprintf(w, "%s_count %d\n", n, view.Count)
+			}})
+		}
+	}
+
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.emit()
+	}
+}
+
+// metricName joins the namespace and raw name and replaces every
+// character outside [a-zA-Z0-9_:] with an underscore, per the
+// exposition format's metric-name grammar.
+func metricName(namespace, name string) string {
+	full := name
+	if namespace != "" {
+		full = namespace + "_" + name
+	}
+	var b strings.Builder
+	for i, r := range full {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

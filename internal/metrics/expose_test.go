@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCountersZeroValueAndNames(t *testing.T) {
+	// The zero value must be usable without NewCounters — package-embedded
+	// counters rely on the lazy map allocation.
+	var c Counters
+	c.Inc("b_second")
+	c.Add("a_first", 2)
+	c.Set("c_third", 7)
+	if got := c.Get("a_first"); got != 2 {
+		t.Errorf("a_first = %d, want 2", got)
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "a_first" || names[1] != "b_second" || names[2] != "c_third" {
+		t.Errorf("Names() = %v, want sorted", names)
+	}
+	var empty Counters
+	if got := empty.Get("x"); got != 0 {
+		t.Errorf("zero-value Get = %d", got)
+	}
+	if snap := empty.Snapshot(); len(snap) != 0 {
+		t.Errorf("zero-value Snapshot = %v", snap)
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 0.7, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	v := h.Snapshot()
+	if v.Count != 5 {
+		t.Fatalf("count = %d, want 5", v.Count)
+	}
+	if v.Sum != 15.7 {
+		t.Errorf("sum = %v, want 15.7", v.Sum)
+	}
+	// Cumulative le semantics: le=1 holds 2, le=2 holds 3, le=5 holds 4,
+	// and the final +Inf cell holds everything.
+	want := []uint64{2, 3, 4, 5}
+	for i, c := range v.Cumulative {
+		if c != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	if v.P50 <= 0 || v.P50 > 2 {
+		t.Errorf("p50 = %v, want within (0, 2]", v.P50)
+	}
+	// The overflow observation clamps the upper quantiles to the largest
+	// bound rather than inventing a value past it.
+	if v.P99 != 5 {
+		t.Errorf("p99 = %v, want clamped to 5", v.P99)
+	}
+	if empty := NewHistogram([]float64{1}).Snapshot(); empty.Count != 0 || empty.P50 != 0 {
+		t.Errorf("empty histogram snapshot = %+v", empty)
+	}
+}
+
+func TestHistogramsRegistry(t *testing.T) {
+	var hs Histograms // zero value usable
+	hs.Observe("b_lat", LatencyBuckets, 0.2)
+	hs.Observe("a_cost", CostBuckets, 0.02)
+	hs.Observe("b_lat", LatencyBuckets, 3)
+	names := hs.Names()
+	if len(names) != 2 || names[0] != "a_cost" || names[1] != "b_lat" {
+		t.Errorf("Names() = %v, want sorted", names)
+	}
+	if h := hs.Get("b_lat"); h == nil || h.Snapshot().Count != 2 {
+		t.Errorf("b_lat = %+v, want 2 observations", h)
+	}
+	if hs.Get("nope") != nil {
+		t.Error("Get of an unknown histogram should be nil")
+	}
+	snap := hs.Snapshot()
+	if len(snap) != 2 || snap["a_cost"].Count != 1 {
+		t.Errorf("Snapshot() = %+v", snap)
+	}
+}
+
+// TestRenderPromGolden locks the exposition output byte-for-byte against
+// a golden file: type lines, sorted family order, histogram _bucket
+// cumulative counts, _sum, and _count. Run with -update to regenerate.
+func TestRenderPromGolden(t *testing.T) {
+	c := NewCounters()
+	c.Add("queries_total", 42)
+	c.Add("queries_rejected", 3)
+	hs := &Histograms{}
+	for _, v := range []float64{0.05, 0.3, 0.3, 2, 45} {
+		hs.Observe("query_sim_seconds", LatencyBuckets, v)
+	}
+	gauges := map[string]float64{"total_cost.usd": 1.25, "admission_running": 2}
+
+	var buf bytes.Buffer
+	RenderProm(&buf, "pz", c, hs, gauges)
+
+	golden := filepath.Join("testdata", "metrics.prom.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Belt and braces beyond the golden bytes: the histogram family must
+	// carry bucket lines and the dotted gauge name must be sanitized.
+	out := buf.String()
+	for _, frag := range []string{
+		"# TYPE pz_query_sim_seconds histogram",
+		`pz_query_sim_seconds_bucket{le="0.5"} 3`,
+		`pz_query_sim_seconds_bucket{le="+Inf"} 5`,
+		"pz_query_sim_seconds_count 5",
+		"pz_total_cost_usd 1.25",
+		"# TYPE pz_queries_total gauge",
+	} {
+		if !bytes.Contains([]byte(out), []byte(frag)) {
+			t.Errorf("exposition missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	for _, tc := range []struct{ ns, in, want string }{
+		{"pz", "queries_total", "pz_queries_total"},
+		{"", "9lives", "_lives"},
+		{"pz", "cache.hit-rate", "pz_cache_hit_rate"},
+	} {
+		if got := metricName(tc.ns, tc.in); got != tc.want {
+			t.Errorf("metricName(%q, %q) = %q, want %q", tc.ns, tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// LatencyBuckets are the default fixed upper bounds (seconds, simulated
+// clock) for query-latency histograms. They span the sub-second cached
+// path through multi-minute clustered scans.
+var LatencyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// CostBuckets are the default fixed upper bounds (USD, simulated) for
+// per-query cost histograms.
+var CostBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// mold: counts[i] tallies observations <= bounds[i], with a final
+// overflow cell for the +Inf bucket. Safe for concurrent use; the zero
+// value is not usable — construct via Histograms.Observe or
+// NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram returns a histogram over the given upper bounds, which
+// must be sorted ascending. The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// HistogramView is an immutable snapshot of a histogram: the bucket
+// upper bounds, cumulative counts per bucket (Prometheus `le`
+// semantics, final entry = +Inf = Count), the running sum, and derived
+// p50/p95/p99 quantile estimates.
+type HistogramView struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []uint64  `json:"cumulative"`
+	Sum        float64   `json:"sum"`
+	Count      uint64    `json:"count"`
+	P50        float64   `json:"p50"`
+	P95        float64   `json:"p95"`
+	P99        float64   `json:"p99"`
+}
+
+// Snapshot returns a consistent view with cumulative bucket counts and
+// interpolated p50/p95/p99.
+func (h *Histogram) Snapshot() HistogramView {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	view := HistogramView{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        h.sum,
+		Count:      h.total,
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		view.Cumulative[i] = cum
+	}
+	view.P50 = h.quantileLocked(0.50)
+	view.P95 = h.quantileLocked(0.95)
+	view.P99 = h.quantileLocked(0.99)
+	return view
+}
+
+// quantileLocked estimates the q-quantile by linear interpolation within
+// the bucket holding the target rank (Prometheus histogram_quantile
+// semantics). Values in the overflow bucket clamp to the largest bound.
+// Caller holds h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper edge to interpolate
+			// toward; report the largest finite bound.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Histograms is a named registry of histograms, the distribution-valued
+// counterpart of Counters. The zero value is ready to use.
+type Histograms struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// NewHistograms returns an empty registry.
+func NewHistograms() *Histograms { return &Histograms{m: map[string]*Histogram{}} }
+
+// Observe records v into the named histogram, creating it with the
+// given bounds on first use (later calls ignore bounds).
+func (h *Histograms) Observe(name string, bounds []float64, v float64) {
+	h.mu.Lock()
+	if h.m == nil {
+		h.m = map[string]*Histogram{}
+	}
+	hist, ok := h.m[name]
+	if !ok {
+		hist = NewHistogram(bounds)
+		h.m[name] = hist
+	}
+	h.mu.Unlock()
+	hist.Observe(v)
+}
+
+// Get returns the named histogram, or nil if never observed.
+func (h *Histograms) Get(name string) *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.m[name]
+}
+
+// Names returns every histogram name in sorted order.
+func (h *Histograms) Names() []string {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.m))
+	for k := range h.m {
+		names = append(names, k)
+	}
+	h.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a view of every histogram keyed by name.
+func (h *Histograms) Snapshot() map[string]HistogramView {
+	h.mu.Lock()
+	hists := make(map[string]*Histogram, len(h.m))
+	for k, v := range h.m {
+		hists[k] = v
+	}
+	h.mu.Unlock()
+	out := make(map[string]HistogramView, len(hists))
+	for k, v := range hists {
+		out[k] = v.Snapshot()
+	}
+	return out
+}

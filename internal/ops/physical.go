@@ -278,10 +278,12 @@ type OpStats struct {
 	// InRecords and OutRecords are the batch sizes.
 	InRecords  int
 	OutRecords int
-	// LLMCalls, InputTokens, OutputTokens, CostUSD account LLM work.
+	// LLMCalls, InputTokens, OutputTokens, CostUSD account LLM work;
+	// CacheHits counts the calls answered by the response cache.
 	LLMCalls     int
 	InputTokens  int
 	OutputTokens int
+	CacheHits    int
 	CostUSD      float64
 	// Time is the simulated wall-clock the operator consumed.
 	Time time.Duration
@@ -323,6 +325,9 @@ func (s *RunStats) noteLLM(pos int, id, kind string, resp *llm.Response) {
 	st.LLMCalls++
 	st.InputTokens += resp.InputTokens
 	st.OutputTokens += resp.OutputTokens
+	if resp.Cached {
+		st.CacheHits++
+	}
 	st.CostUSD += resp.CostUSD
 	s.mu.Unlock()
 }

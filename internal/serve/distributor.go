@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/trace"
 	"repro/pz"
 )
 
@@ -42,6 +43,11 @@ type DistResult struct {
 	// Workers and Partitions describe the fan-out that actually ran.
 	Workers    int
 	Partitions int
+	// Trace is the coordinator's span tree: a query root over the
+	// scatter phase (one partition span per scattered partition, each
+	// embedding the executing side's own worker spans) and any local
+	// suffix run.
+	Trace *trace.Span
 }
 
 // WorkerView is the wire form of one registered worker in /metrics.

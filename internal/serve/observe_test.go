@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/pz"
+)
+
+// observeServer runs a server with the observability knobs under test:
+// a tiny slow-query threshold so every real query lands in the slowlog.
+func observeServer(t *testing.T, slowSec float64) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{
+		Context:         newStreamContext(t, 24, pz.Config{Parallelism: 2}),
+		SlowQuerySimSec: slowSec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func runStreamQuery(t *testing.T, url string) JobView {
+	t.Helper()
+	resp, data := postQuery(t, url, streamSpec("max-quality", workloads.StreamPredicates[0]), true, "alice")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, data)
+	}
+	var view JobView
+	if err := json.Unmarshal(data, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone || view.Result == nil {
+		t.Fatalf("job %+v did not complete", view)
+	}
+	return view
+}
+
+// TestServeJobTraceEndpoint: a completed job serves its span tree as a
+// versioned document; unknown jobs 404; traceless jobs 409.
+func TestServeJobTraceEndpoint(t *testing.T) {
+	_, ts := observeServer(t, 0)
+	view := runStreamQuery(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	var doc trace.Document
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != trace.SchemaVersion || doc.JobID != view.ID || doc.Tenant != "alice" {
+		t.Errorf("document header = %+v", doc)
+	}
+	if doc.Trace == nil || doc.Trace.Kind != trace.KindQuery {
+		t.Fatalf("trace root = %+v, want a query span", doc.Trace)
+	}
+	stages := doc.Trace.Stages()
+	if len(stages) == 0 {
+		t.Fatal("trace has no stage spans")
+	}
+	if doc.Trace.SimMS != view.Result.ElapsedSimMS {
+		t.Errorf("trace sim %d ms != job result %d ms", doc.Trace.SimMS, view.Result.ElapsedSimMS)
+	}
+	if doc.Trace.Attrs["policy"] == "" {
+		t.Errorf("trace root not annotated with the policy: %v", doc.Trace.Attrs)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope/trace"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace status %d, want 404", resp.StatusCode)
+	}
+
+}
+
+// TestServeJobTraceNotReady: a job that is still executing has no trace
+// yet, and the endpoint reports the conflict instead of serving an
+// empty document. OnJobStart pins the job in its running state while
+// the test probes.
+func TestServeJobTraceNotReady(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	srv, err := New(Config{
+		Context: newStreamContext(t, 24, pz.Config{Parallelism: 2}),
+		OnJobStart: func(ctx context.Context, job *Job) {
+			started <- job.ID()
+			<-release
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := postQuery(t, ts.URL, streamSpec("max-quality", workloads.StreamPredicates[0]), false, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status %d: %s", resp.StatusCode, data)
+	}
+	id := <-started
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusConflict {
+		t.Errorf("running job trace status %d, want 409", tresp.StatusCode)
+	}
+	close(release)
+	if view := awaitStatus(t, ts.URL, id); view.Status != StatusDone {
+		t.Fatalf("job settled %s", view.Status)
+	}
+	tresp2, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tresp2.Body.Close()
+	if tresp2.StatusCode != http.StatusOK {
+		t.Errorf("finished job trace status %d, want 200", tresp2.StatusCode)
+	}
+}
+
+// TestServeSlowlogAndTraceRing: queries past the threshold land in
+// /v1/debug/slowlog, every query lands in /v1/debug/traces, and a zero
+// threshold disables the log entirely.
+func TestServeSlowlogAndTraceRing(t *testing.T) {
+	// Any real LLM query takes far more than a millisecond of simulated
+	// time, so this threshold catches everything.
+	srv, ts := observeServer(t, 0.001)
+	view := runStreamQuery(t, ts.URL)
+
+	var slow struct {
+		ThresholdSimSec float64          `json:"threshold_sim_sec"`
+		Entries         []SlowQueryEntry `json:"entries"`
+	}
+	getJSON(t, ts.URL+"/v1/debug/slowlog", &slow)
+	if slow.ThresholdSimSec != 0.001 {
+		t.Errorf("threshold = %v, want 0.001", slow.ThresholdSimSec)
+	}
+	if len(slow.Entries) != 1 {
+		t.Fatalf("slowlog has %d entries, want 1: %+v", len(slow.Entries), slow.Entries)
+	}
+	e := slow.Entries[0]
+	if e.JobID != view.ID || e.Tenant != "alice" || e.ElapsedSimMS != view.Result.ElapsedSimMS || e.Plan == "" {
+		t.Errorf("slowlog entry = %+v, job = %s/%d ms", e, view.ID, view.Result.ElapsedSimMS)
+	}
+	if got := srv.Counters().Get("slow_queries"); got != 1 {
+		t.Errorf("slow_queries counter = %d, want 1", got)
+	}
+
+	var traces struct {
+		Traces []*trace.Document `json:"traces"`
+	}
+	getJSON(t, ts.URL+"/v1/debug/traces", &traces)
+	if len(traces.Traces) != 1 || traces.Traces[0].JobID != view.ID {
+		t.Fatalf("trace ring = %+v, want the one finished job", traces.Traces)
+	}
+
+	// Threshold 0: queries still trace, but nothing is slow.
+	_, off := observeServer(t, 0)
+	runStreamQuery(t, off.URL)
+	getJSON(t, off.URL+"/v1/debug/slowlog", &slow)
+	if len(slow.Entries) != 0 {
+		t.Errorf("disabled slowlog retained %d entries", len(slow.Entries))
+	}
+}
+
+// TestServeMetricsProm: the default /metrics form is Prometheus text
+// with the query histograms; ?format=json keeps the JSON snapshot and
+// now carries histogram views.
+func TestServeMetricsProm(t *testing.T) {
+	_, ts := observeServer(t, 0)
+	runStreamQuery(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.PromContentType {
+		t.Errorf("content type %q, want %q", ct, metrics.PromContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, frag := range []string{
+		"# TYPE pz_query_sim_seconds histogram",
+		`pz_query_sim_seconds_bucket{le="+Inf"} 1`,
+		"pz_query_sim_seconds_count 1",
+		"# TYPE pz_query_cost_usd histogram",
+		"# TYPE pz_queries_done gauge\npz_queries_done 1",
+		"pz_admission_running 0",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("/metrics missing %q:\n%s", frag, text)
+		}
+	}
+
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
+	if m.Counters["queries_done"] != 1 {
+		t.Errorf("json counters = %v", m.Counters)
+	}
+	h, ok := m.Histograms["query_sim_seconds"]
+	if !ok || h.Count != 1 || h.P50 <= 0 {
+		t.Errorf("json histogram view = %+v", m.Histograms)
+	}
+}

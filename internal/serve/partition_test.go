@@ -144,7 +144,7 @@ func TestServePartitionedQueriesRace(t *testing.T) {
 	// The two fan-outs fingerprint differently, so the cache holds one
 	// plan per fan-out and the second wave hits both.
 	var m Metrics
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.PlanCache.Size != len(specs) {
 		t.Errorf("plan cache holds %d plans, want %d (one per fan-out)", m.PlanCache.Size, len(specs))
 	}

@@ -189,7 +189,7 @@ func TestServeConcurrentQueriesAcceptance(t *testing.T) {
 	runWave()
 
 	var m Metrics
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.PlanCache.Hits == 0 {
 		t.Errorf("plan cache hits = 0 after repeated queries: %+v", m.PlanCache)
 	}
@@ -257,7 +257,7 @@ func TestServeAdmissionControl(t *testing.T) {
 	}
 
 	var m Metrics
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.Counters["rejected_overload"] != 1 {
 		t.Errorf("rejected_overload = %d", m.Counters["rejected_overload"])
 	}
@@ -347,7 +347,7 @@ func TestServeClientCancellation(t *testing.T) {
 		t.Fatalf("post-cancel query: status %d: %s", resp4.StatusCode, data4)
 	}
 	var m Metrics
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.Counters["queries_canceled"] != 2 {
 		t.Errorf("queries_canceled = %d, want 2", m.Counters["queries_canceled"])
 	}
@@ -384,7 +384,7 @@ func TestServeTenantBudget(t *testing.T) {
 		t.Fatalf("alice: %d: %s", resp.StatusCode, data)
 	}
 	var m Metrics
-	getJSON(t, ts.URL+"/metrics", &m)
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
 	if m.Counters["rejected_budget"] != 1 {
 		t.Errorf("rejected_budget = %d", m.Counters["rejected_budget"])
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/optimizer"
+	"repro/internal/trace"
 	"repro/pz"
 )
 
@@ -44,6 +45,18 @@ type Config struct {
 	// (the cluster registry/coordinator), so /metrics reports one merged
 	// counter view; nil allocates a private set.
 	Counters *metrics.Counters
+	// Histograms optionally shares a distribution registry (latency and
+	// cost histograms on /metrics); nil allocates a private set.
+	Histograms *metrics.Histograms
+	// SlowQuerySimSec is the slow-query log threshold in simulated
+	// seconds: completed queries at or above it are retained in the
+	// bounded ring behind /v1/debug/slowlog. 0 disables the log.
+	SlowQuerySimSec float64
+	// TraceRingSize bounds the ring of recent query traces behind
+	// /v1/debug/traces (default 64).
+	TraceRingSize int
+	// SlowLogSize bounds the slow-query ring (default 128).
+	SlowLogSize int
 }
 
 // Job statuses.
@@ -63,6 +76,7 @@ type Job struct {
 	status string
 	errMsg string
 	result *QueryResult
+	trace  *trace.Span
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -108,6 +122,20 @@ func (j *Job) finish(status string, result *QueryResult, errMsg string) {
 	j.cancel = nil
 	j.mu.Unlock()
 	close(j.done)
+}
+
+func (j *Job) setTrace(t *trace.Span) {
+	j.mu.Lock()
+	j.trace = t
+	j.mu.Unlock()
+}
+
+// Trace returns the job's query trace (nil until the job completes a
+// traced execution).
+func (j *Job) Trace() *trace.Span {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // QueryResult is the wire form of a completed query.
@@ -160,6 +188,9 @@ type Server struct {
 	plans    *PlanCache
 	tenants  *Accounting
 	counters *metrics.Counters
+	hists    *metrics.Histograms
+	traces   *trace.Ring[*trace.Document]
+	slowlog  *trace.Ring[SlowQueryEntry]
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -187,6 +218,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Counters == nil {
 		cfg.Counters = metrics.NewCounters()
 	}
+	if cfg.Histograms == nil {
+		cfg.Histograms = metrics.NewHistograms()
+	}
+	if cfg.TraceRingSize <= 0 {
+		cfg.TraceRingSize = 64
+	}
+	if cfg.SlowLogSize <= 0 {
+		cfg.SlowLogSize = 128
+	}
+	if cfg.SlowQuerySimSec < 0 {
+		return nil, fmt.Errorf("serve: negative slow-query threshold %v", cfg.SlowQuerySimSec)
+	}
 	base, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:      cfg,
@@ -195,6 +238,9 @@ func New(cfg Config) (*Server, error) {
 		plans:    NewPlanCache(cfg.PlanCacheSize),
 		tenants:  NewAccounting(cfg.DefaultBudgetUSD, cfg.TenantBudgets),
 		counters: cfg.Counters,
+		hists:    cfg.Histograms,
+		traces:   trace.NewRing[*trace.Document](cfg.TraceRingSize),
+		slowlog:  trace.NewRing[SlowQueryEntry](cfg.SlowLogSize),
 		jobs:     map[string]*Job{},
 		base:     base,
 		shutdown: cancel,
@@ -218,15 +264,22 @@ func (s *Server) Counters() *metrics.Counters { return s.counters }
 //	POST /v1/query            submit a pipeline spec (async; ?wait=1 blocks)
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        job status and result
+//	GET  /v1/jobs/{id}/trace  the job's query trace (span tree)
 //	POST /v1/jobs/{id}/cancel abort a job
-//	GET  /metrics             serving counters, caches, tenants
+//	GET  /v1/debug/traces     ring of recent query traces
+//	GET  /v1/debug/slowlog    slow-query log (see Config.SlowQuerySimSec)
+//	GET  /metrics             Prometheus text exposition;
+//	                          ?format=json keeps the JSON snapshot
 //	GET  /healthz             liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -378,6 +431,7 @@ func (s *Server) runJob(parent context.Context, job *Job, spec *Spec, ds *pz.Dat
 		return
 	}
 	s.counters.Inc("queries_done")
+	s.observeDone(job, res.Trace, res.Elapsed.Milliseconds(), res.CostUSD, res.Plan.String())
 	job.finish(StatusDone, &QueryResult{
 		Records:      records,
 		Count:        len(res.Records),
@@ -388,6 +442,34 @@ func (s *Server) runJob(parent context.Context, job *Job, spec *Spec, ds *pz.Dat
 		ElapsedSimMS: res.Elapsed.Milliseconds(),
 		CostUSD:      res.CostUSD,
 	}, "")
+}
+
+// observeDone records one completed query into the observability
+// surfaces: latency/cost histograms, the recent-trace ring, the job's
+// own trace, and (past the configured threshold) the slow-query log.
+func (s *Server) observeDone(job *Job, tr *trace.Span, elapsedSimMS int64, costUSD float64, plan string) {
+	simSec := float64(elapsedSimMS) / 1000
+	s.hists.Observe("query_sim_seconds", metrics.LatencyBuckets, simSec)
+	s.hists.Observe("query_cost_usd", metrics.CostBuckets, costUSD)
+	if tr != nil {
+		job.setTrace(tr)
+		s.traces.Push(&trace.Document{
+			SchemaVersion: trace.SchemaVersion,
+			JobID:         job.ID(),
+			Tenant:        job.Tenant(),
+			Trace:         tr,
+		})
+	}
+	if s.cfg.SlowQuerySimSec > 0 && simSec >= s.cfg.SlowQuerySimSec {
+		s.counters.Inc("slow_queries")
+		s.slowlog.Push(SlowQueryEntry{
+			JobID:        job.ID(),
+			Tenant:       job.Tenant(),
+			ElapsedSimMS: elapsedSimMS,
+			CostUSD:      costUSD,
+			Plan:         plan,
+		})
+	}
 }
 
 // runDistributed offers a partitioned query to the cluster coordinator
@@ -425,6 +507,7 @@ func (s *Server) runDistributed(ctx context.Context, job *Job, spec *Spec, polic
 		return true
 	}
 	s.counters.Inc("queries_done")
+	s.observeDone(job, dres.Trace, dres.Elapsed.Milliseconds(), dres.CostUSD, dres.Plan)
 	job.finish(StatusDone, &QueryResult{
 		Records:      records,
 		Count:        len(dres.Records),
@@ -452,6 +535,51 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// SlowQueryEntry is one slow-query log line: which job, whose query,
+// and where the simulated time and money went.
+type SlowQueryEntry struct {
+	JobID        string  `json:"job_id"`
+	Tenant       string  `json:"tenant"`
+	ElapsedSimMS int64   `json:"elapsed_sim_ms"`
+	CostUSD      float64 `json:"cost_usd"`
+	Plan         string  `json:"plan"`
+}
+
+// handleJobTrace serves a completed job's span tree as a versioned
+// trace document. 404 for unknown jobs; 409 while the job has not yet
+// produced a trace (still queued/running, or finished without one).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupJob(w, r)
+	if job == nil {
+		return
+	}
+	tr := job.Trace()
+	if tr == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("serve: job %s has no trace (status %s)", job.ID(), job.Status()))
+		return
+	}
+	writeJSON(w, http.StatusOK, &trace.Document{
+		SchemaVersion: trace.SchemaVersion,
+		JobID:         job.ID(),
+		Tenant:        job.Tenant(),
+		Trace:         tr,
+	})
+}
+
+// handleTraces serves the ring of recent query traces, oldest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.Items()})
+}
+
+// handleSlowlog serves the bounded slow-query log, oldest first.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_sim_sec": s.cfg.SlowQuerySimSec,
+		"entries":           s.slowlog.Items(),
+	})
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job := s.lookupJob(w, r)
 	if job == nil {
@@ -477,15 +605,16 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, views)
 }
 
-// Metrics is the /metrics payload.
+// Metrics is the /metrics?format=json payload.
 type Metrics struct {
-	Counters  map[string]int64       `json:"counters"`
-	PlanCache PlanCacheStats         `json:"plan_cache"`
-	LLMCache  *LLMCacheStats         `json:"llm_cache,omitempty"`
-	Admission AdmissionStats         `json:"admission"`
-	Tenants   map[string]TenantUsage `json:"tenants"`
-	TotalCost float64                `json:"total_cost_usd"`
-	Cluster   *ClusterStats          `json:"cluster,omitempty"`
+	Counters   map[string]int64                 `json:"counters"`
+	Histograms map[string]metrics.HistogramView `json:"histograms,omitempty"`
+	PlanCache  PlanCacheStats                   `json:"plan_cache"`
+	LLMCache   *LLMCacheStats                   `json:"llm_cache,omitempty"`
+	Admission  AdmissionStats                   `json:"admission"`
+	Tenants    map[string]TenantUsage           `json:"tenants"`
+	TotalCost  float64                          `json:"total_cost_usd"`
+	Cluster    *ClusterStats                    `json:"cluster,omitempty"`
 }
 
 // ClusterStats is the cluster section of /metrics: the live worker pool.
@@ -513,28 +642,55 @@ type AdmissionStats struct {
 	MaxQueue    int `json:"max_queue"`
 }
 
+// handleMetrics serves the Prometheus text exposition by default and
+// the structured JSON snapshot under ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := Metrics{
-		Counters:  s.counters.Snapshot(),
-		PlanCache: s.plans.Stats(),
-		Admission: AdmissionStats{
-			Running: s.adm.Running(), Queued: s.adm.Queued(),
-			MaxInflight: s.adm.MaxInflight(), MaxQueue: s.adm.MaxQueue(),
-		},
-		Tenants:   s.tenants.Snapshot(),
-		TotalCost: s.pzctx.TotalCost(),
+	if r.URL.Query().Get("format") == "json" {
+		m := Metrics{
+			Counters:   s.counters.Snapshot(),
+			Histograms: s.hists.Snapshot(),
+			PlanCache:  s.plans.Stats(),
+			Admission: AdmissionStats{
+				Running: s.adm.Running(), Queued: s.adm.Queued(),
+				MaxInflight: s.adm.MaxInflight(), MaxQueue: s.adm.MaxQueue(),
+			},
+			Tenants:   s.tenants.Snapshot(),
+			TotalCost: s.pzctx.TotalCost(),
+		}
+		if cache := s.pzctx.Executor().Cache(); cache != nil {
+			st := cache.Stats()
+			m.LLMCache = &LLMCacheStats{
+				Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+				SavedUSD: st.SavedUSD, Len: st.Len, Capacity: st.Capacity,
+			}
+		}
+		if s.cfg.Cluster != nil {
+			m.Cluster = &ClusterStats{Workers: s.cfg.Cluster.Workers()}
+		}
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	// Text exposition: counters and histograms from the registries, plus
+	// the point-in-time gauges the JSON snapshot derives from subsystems.
+	planStats := s.plans.Stats()
+	gauges := map[string]float64{
+		"admission_running":    float64(s.adm.Running()),
+		"admission_queued":     float64(s.adm.Queued()),
+		"plan_cache_size":      float64(planStats.Size),
+		"total_cost_usd":       s.pzctx.TotalCost(),
+		"slow_query_threshold": s.cfg.SlowQuerySimSec,
 	}
 	if cache := s.pzctx.Executor().Cache(); cache != nil {
 		st := cache.Stats()
-		m.LLMCache = &LLMCacheStats{
-			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
-			SavedUSD: st.SavedUSD, Len: st.Len, Capacity: st.Capacity,
-		}
+		gauges["llm_cache_hits"] = float64(st.Hits)
+		gauges["llm_cache_misses"] = float64(st.Misses)
+		gauges["llm_cache_saved_usd"] = st.SavedUSD
 	}
 	if s.cfg.Cluster != nil {
-		m.Cluster = &ClusterStats{Workers: s.cfg.Cluster.Workers()}
+		gauges["cluster_workers_live"] = float64(len(s.cfg.Cluster.Workers()))
 	}
-	writeJSON(w, http.StatusOK, m)
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	metrics.RenderProm(w, "pz", s.counters, s.hists, gauges)
 }
 
 // RecordsJSON renders records deterministically: one JSON object per

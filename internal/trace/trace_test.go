@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTree assembles a small query trace the way exec does: a query
+// root over stage spans, with partition children under the scan stage.
+func buildTree() *Span {
+	scan := &Span{Kind: KindStage, Name: "scan", OpID: "scan", OpIndex: 0, RecordsIn: 100, RecordsOut: 100, SimMS: 40}
+	scan.Add(
+		&Span{Kind: KindPartition, Name: "partition 0", Partition: Ordinal(0), RecordsIn: 50, RecordsOut: 50, SimMS: 40},
+		&Span{Kind: KindPartition, Name: "partition 1", Partition: Ordinal(1), RecordsIn: 50, RecordsOut: 50, SimMS: 38},
+	)
+	filter := &Span{Kind: KindStage, Name: "filter", OpID: "filter", OpIndex: 1,
+		RecordsIn: 100, RecordsOut: 30, Selectivity: Selectivity(100, 30), SimMS: 900, LLMCalls: 100}
+	root := &Span{Kind: KindQuery, Name: "pipelined", RecordsIn: 100, RecordsOut: 30, SimMS: 940}
+	return root.Add(scan, filter)
+}
+
+func TestSpanHelpers(t *testing.T) {
+	root := buildTree()
+	stages := root.Stages()
+	if len(stages) != 2 || stages[0].OpID != "scan" || stages[1].OpID != "filter" {
+		t.Fatalf("Stages() = %+v, want scan then filter", stages)
+	}
+	if parts := root.FindAll(KindPartition); len(parts) != 2 {
+		t.Fatalf("FindAll(partition) found %d spans, want 2", len(parts))
+	}
+	if got := Selectivity(100, 30); got != 0.3 {
+		t.Errorf("Selectivity(100, 30) = %v, want 0.3", got)
+	}
+	if got := Selectivity(0, 5); got != 0 {
+		t.Errorf("Selectivity(0, 5) = %v, want 0 (nothing entered)", got)
+	}
+	if p := Ordinal(3); p == nil || *p != 3 {
+		t.Errorf("Ordinal(3) = %v", p)
+	}
+	var nilSpan *Span
+	if nilSpan.FindAll(KindStage) != nil {
+		t.Error("FindAll on a nil span should return nil")
+	}
+	root.SetAttr("policy", "max-quality")
+	if root.Attrs["policy"] != "max-quality" {
+		t.Errorf("SetAttr did not store the annotation: %v", root.Attrs)
+	}
+	if s := root.String(); !strings.Contains(s, "query pipelined") || !strings.Contains(s, "100->30") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	doc := NewDocument(buildTree())
+	doc.JobID, doc.Tenant = "job-1", "alice"
+	data, err := doc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("artifact does not end in a newline")
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.JobID != "job-1" || back.Tenant != "alice" {
+		t.Errorf("round trip lost header fields: %+v", back)
+	}
+	if len(back.Trace.Stages()) != 2 {
+		t.Errorf("round trip lost stage spans: %+v", back.Trace)
+	}
+	// Partition ordinal 0 must survive the trip (it is a pointer exactly
+	// so that zero is distinguishable from absent).
+	p0 := back.Trace.FindAll(KindPartition)[0]
+	if p0.Partition == nil || *p0.Partition != 0 {
+		t.Errorf("partition ordinal 0 lost in JSON: %+v", p0)
+	}
+}
+
+func TestRingEvictionAndOrder(t *testing.T) {
+	r := NewRing[int](3)
+	if got := r.Items(); got == nil || len(got) != 0 {
+		t.Fatalf("empty ring Items() = %v, want a non-nil empty slice", got)
+	}
+	r.Push(1)
+	r.Push(2)
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+	if got := r.Items(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Items() = %v, want [1 2]", got)
+	}
+	r.Push(3)
+	r.Push(4) // evicts 1
+	r.Push(5) // evicts 2
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3 at capacity", r.Len())
+	}
+	if got := r.Items(); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("Items() = %v, want [3 4 5] oldest-first", got)
+	}
+}
+
+func TestRingCapacityFloor(t *testing.T) {
+	r := NewRing[string](0)
+	r.Push("a")
+	r.Push("b")
+	if got := r.Items(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("capacity-0 ring Items() = %v, want just the newest item", got)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/record"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
 
 // Re-exported core types. The internal packages carry the implementations;
@@ -64,6 +65,9 @@ type (
 	Cardinality = ops.Cardinality
 	// AggFunc enumerates aggregate functions.
 	AggFunc = ops.AggFunc
+	// Span is one node of a query trace: per-stage (and per-partition)
+	// record counts, observed selectivity, simulated time, and cost.
+	Span = trace.Span
 )
 
 // Field type constants.
@@ -199,6 +203,10 @@ type Config struct {
 	// completed batch per stage (pipelined engine) or one per completed
 	// operator (sequential engine). Events are serialized.
 	OnProgress func(Progress)
+	// TraceSink, when set, receives every completed query's span tree
+	// (see Result.Trace). The callback may run concurrently with itself
+	// when ExecuteContext calls overlap.
+	TraceSink func(*Span)
 }
 
 // Progress is one execution progress event (see Config.OnProgress).
@@ -227,6 +235,7 @@ func NewContext(cfg Config) (*Context, error) {
 		CacheCapacity:   cfg.CacheCapacity,
 		StreamBatchSize: cfg.StreamBatchSize,
 		OnProgress:      cfg.OnProgress,
+		TraceSink:       cfg.TraceSink,
 	})
 	if err != nil {
 		return nil, err
@@ -467,6 +476,9 @@ type Result struct {
 	CostUSD float64
 	// Stats exposes per-operator statistics.
 	Stats *ops.RunStats
+	// Trace is the query's span tree (stage, partition, and — for
+	// clustered execution — worker spans). See internal/trace.
+	Trace *Span
 
 	inner *exec.Result
 }
@@ -558,6 +570,7 @@ func wrapResult(res *exec.Result) *Result {
 		Elapsed:    res.Elapsed,
 		CostUSD:    res.CostUSD,
 		Stats:      res.Stats,
+		Trace:      res.Trace,
 		inner:      res,
 	}
 }
