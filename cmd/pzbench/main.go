@@ -95,6 +95,11 @@ func runRun(args []string, stdout io.Writer) error {
 		return err
 	}
 	tr.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	outcomes, err := bench.EvalAssertions(t, tr)
+	if err != nil {
+		return err
+	}
+	tr.Assertions = outcomes
 	if err := tr.Validate(); err != nil {
 		return err
 	}
@@ -109,6 +114,16 @@ func runRun(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "wrote %s: %d cells, sim total %.1f s, cost total $%.4f\n",
 		*out, len(tr.Cells), float64(simMS)/1000, cost)
+	failed := 0
+	for _, o := range outcomes {
+		fmt.Fprintln(stdout, "assert", o)
+		if !o.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("run: %d of %d assertions failed", failed, len(outcomes))
+	}
 	return nil
 }
 

@@ -59,6 +59,8 @@ func main() {
 		err = runStats(args, os.Stdout)
 	case "index":
 		err = runIndex(args, os.Stdout)
+	case "embed":
+		err = runEmbed(args, os.Stdout)
 	case "domains":
 		err = runDomains(args, os.Stdout)
 	case "-h", "-help", "--help", "help":
@@ -79,10 +81,11 @@ func usage(w io.Writer) {
 	fmt.Fprintf(w, `pzcorpus — generate, validate, and summarize NDJSON corpora
 
 commands:
-  generate [-domain D | -spec F] -out F [-n N | -size S] [-rate R] [-seed N]
+  generate [-domain D | -spec F] -out F [-n N | -size S] [-rate R] [-seed N] [-embed]
   validate [-spec F] F   re-derive checksum, check every line's ground truth
   stats    F        manifest + fresh streaming statistics
   index    F        back-fill the byte-offset partition index [-partitions P]
+  embed    F        write the embedding sidecar (enables cascade plans)
   domains           list registered corpus domains
 `)
 }
@@ -97,6 +100,7 @@ func runGenerate(args []string, stdout io.Writer) error {
 	rate := fs.Float64("rate", -1, "positive-class fraction (negative = domain default)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("out", "", "output corpus path (required)")
+	embed := fs.Bool("embed", false, "also write the embedding sidecar (as `pzcorpus embed` would)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,7 +146,37 @@ func runGenerate(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "wrote %s: %d %s docs, %s, sha256 %s…\n",
 		*out, m.NumDocs, m.Domain, fmtBytes(m.Bytes), m.SHA256[:12])
 	printLabelCounts(stdout, m.LabelCounts, m.NumDocs)
+	if *embed {
+		return embedCorpus(*out, stdout)
+	}
 	return nil
+}
+
+// embedCorpus writes a corpus's embedding sidecar with the catalog's
+// deterministic document embedding and reports the resulting reference —
+// the shared implementation of `pzcorpus embed` and `generate -embed`.
+func embedCorpus(path string, stdout io.Writer) error {
+	m, err := corpus.EmbedNDJSON(path, llm.EmbedDim, llm.EmbedVector)
+	if err != nil {
+		return err
+	}
+	e := m.Embeddings
+	fmt.Fprintf(stdout, "wrote %s: %d vectors of dim %d, %s, sha256 %s…\n",
+		path+corpus.EmbedSuffix, e.NumVectors, e.Dim, fmtBytes(e.Bytes), shaPrefix(e.SHA256))
+	return nil
+}
+
+// runEmbed back-fills the embedding sidecar of an existing corpus, making
+// it eligible for the optimizer's cascade-filter plans.
+func runEmbed(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("embed", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("embed: exactly one corpus path expected")
+	}
+	return embedCorpus(fs.Arg(0), stdout)
 }
 
 // docsForSize estimates the document count that lands near targetBytes by

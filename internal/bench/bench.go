@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/corpus/spec"
+	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -69,6 +70,10 @@ type Track struct {
 	Policies []string `json:"policies"`
 	// PolicyParam parameterizes constrained policies.
 	PolicyParam float64 `json:"policy_param,omitempty"`
+	// Assertions are pass/fail claims checked against the finished grid —
+	// `pzbench run` evaluates them after writing the artifact and exits
+	// non-zero when one fails, which is how CI gates on a track.
+	Assertions []TrackAssertion `json:"assertions,omitempty"`
 }
 
 // TrackDataset is one dataset axis entry: a corpus recipe (domain, size,
@@ -90,6 +95,10 @@ type TrackDataset struct {
 	Rate *float64 `json:"rate,omitempty"`
 	// Seed makes the corpus deterministic.
 	Seed int64 `json:"seed"`
+	// Embed also writes the corpus's embedding sidecar (as `pzcorpus
+	// embed` would), which is what lets the optimizer enumerate
+	// cascade-filter plans for the dataset.
+	Embed bool `json:"embed,omitempty"`
 	// Ops is the declarative operator chain to execute (serve wire form).
 	Ops []serve.OpSpec `json:"ops"`
 }
@@ -99,6 +108,40 @@ func (d *TrackDataset) rate() float64 {
 		return -1
 	}
 	return *d.Rate
+}
+
+// Assertion kinds.
+const (
+	// AssertCostRatioMin claims the baseline policy's summed cost over a
+	// dataset is at least Value times the candidate policy's.
+	AssertCostRatioMin = "cost_ratio_min"
+	// AssertQualityDeltaMax claims the candidate policy's mean F1 over a
+	// dataset trails the baseline policy's by at most Value.
+	AssertQualityDeltaMax = "quality_delta_max"
+)
+
+// TrackAssertion is one pass/fail claim a track makes about its own grid,
+// comparing a candidate policy against a baseline policy on one dataset.
+type TrackAssertion struct {
+	// Kind selects the check (AssertCostRatioMin, AssertQualityDeltaMax).
+	Kind string `json:"kind"`
+	// Dataset names the dataset whose cells the claim is about.
+	Dataset string `json:"dataset"`
+	// BaselinePolicy and CandidatePolicy are the two policy axis values
+	// compared; both must appear in the track's Policies.
+	BaselinePolicy  string `json:"baseline_policy"`
+	CandidatePolicy string `json:"candidate_policy"`
+	// Value is the threshold (minimum ratio, maximum delta).
+	Value float64 `json:"value"`
+}
+
+// AssertionOutcome is one evaluated assertion, recorded in the trajectory
+// so the artifact carries its own verdicts.
+type AssertionOutcome struct {
+	TrackAssertion
+	// Measured is the observed ratio or delta.
+	Measured float64 `json:"measured"`
+	Pass     bool    `json:"pass"`
 }
 
 // ParseTrack decodes and validates a track document. Unknown keys are
@@ -191,7 +234,128 @@ func (t *Track) validate() error {
 	if n := t.Cells(); n > MaxCells {
 		return fmt.Errorf("bench: grid has %d cells, limit %d", n, MaxCells)
 	}
+	policies := map[string]bool{}
+	for _, p := range t.Policies {
+		policies[p] = true
+	}
+	for i, a := range t.Assertions {
+		switch a.Kind {
+		case AssertCostRatioMin, AssertQualityDeltaMax:
+		default:
+			return fmt.Errorf("bench: assertion %d has unknown kind %q", i, a.Kind)
+		}
+		if !seen[a.Dataset] {
+			return fmt.Errorf("bench: assertion %d names undeclared dataset %q", i, a.Dataset)
+		}
+		for _, p := range []string{a.BaselinePolicy, a.CandidatePolicy} {
+			if !policies[p] {
+				return fmt.Errorf("bench: assertion %d names policy %q outside the track's policy axis", i, p)
+			}
+		}
+		if a.Kind == AssertCostRatioMin && a.Value <= 0 {
+			return fmt.Errorf("bench: assertion %d needs a positive ratio, got %v", i, a.Value)
+		}
+		if a.Kind == AssertQualityDeltaMax && a.Value < 0 {
+			return fmt.Errorf("bench: assertion %d needs a non-negative delta, got %v", i, a.Value)
+		}
+	}
 	return nil
+}
+
+// EvalAssertions checks every track assertion against a finished
+// trajectory. The returned outcomes cover all assertions (failing ones
+// have Pass false); the error reports structural problems — a policy with
+// no matching cells, or a quality claim over cells that measured none.
+func EvalAssertions(t *Track, tr *Trajectory) ([]AssertionOutcome, error) {
+	if len(t.Assertions) == 0 {
+		return nil, nil
+	}
+	out := make([]AssertionOutcome, 0, len(t.Assertions))
+	for i, a := range t.Assertions {
+		base, err := gatherCells(tr, a.Dataset, a.BaselinePolicy)
+		if err != nil {
+			return nil, fmt.Errorf("bench: assertion %d: %w", i, err)
+		}
+		cand, err := gatherCells(tr, a.Dataset, a.CandidatePolicy)
+		if err != nil {
+			return nil, fmt.Errorf("bench: assertion %d: %w", i, err)
+		}
+		o := AssertionOutcome{TrackAssertion: a}
+		switch a.Kind {
+		case AssertCostRatioMin:
+			if cand.cost <= 0 {
+				return nil, fmt.Errorf("bench: assertion %d: candidate %q spent $0, ratio undefined", i, a.CandidatePolicy)
+			}
+			o.Measured = base.cost / cand.cost
+			o.Pass = o.Measured >= a.Value
+		case AssertQualityDeltaMax:
+			bf1, err := base.meanF1()
+			if err != nil {
+				return nil, fmt.Errorf("bench: assertion %d: baseline %q: %w", i, a.BaselinePolicy, err)
+			}
+			cf1, err := cand.meanF1()
+			if err != nil {
+				return nil, fmt.Errorf("bench: assertion %d: candidate %q: %w", i, a.CandidatePolicy, err)
+			}
+			o.Measured = bf1 - cf1
+			o.Pass = o.Measured <= a.Value
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// String renders an outcome as one human-readable verdict line.
+func (o AssertionOutcome) String() string {
+	verdict := "PASS"
+	if !o.Pass {
+		verdict = "FAIL"
+	}
+	op := ">="
+	if o.Kind == AssertQualityDeltaMax {
+		op = "<="
+	}
+	return fmt.Sprintf("%s %s: %s vs %s: %.4f %s %.4f  %s",
+		o.Kind, o.Dataset, o.CandidatePolicy, o.BaselinePolicy, o.Measured, op, o.Value, verdict)
+}
+
+// cellGroup aggregates the cells matching one (dataset, policy) pair.
+type cellGroup struct {
+	cost   float64
+	f1     []float64
+	missed int
+}
+
+func (g *cellGroup) meanF1() (float64, error) {
+	if g.missed > 0 || len(g.f1) == 0 {
+		return 0, fmt.Errorf("%d cell(s) measured no quality", g.missed)
+	}
+	var sum float64
+	for _, v := range g.f1 {
+		sum += v
+	}
+	return sum / float64(len(g.f1)), nil
+}
+
+func gatherCells(tr *Trajectory, dataset, policy string) (*cellGroup, error) {
+	g := &cellGroup{}
+	n := 0
+	for _, c := range tr.Cells {
+		if c.Dataset != dataset || c.Policy != policy {
+			continue
+		}
+		n++
+		g.cost += c.CostUSD
+		if c.Quality != nil {
+			g.f1 = append(g.f1, c.Quality.F1)
+		} else {
+			g.missed++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("no cells for dataset %q policy %q", dataset, policy)
+	}
+	return g, nil
 }
 
 // Cells is the grid size the track declares.
@@ -301,6 +465,9 @@ type Trajectory struct {
 	// Server is the pzserve URL when cells ran remotely ("" = in-process).
 	Server string `json:"server,omitempty"`
 	Cells  []Cell `json:"cells"`
+	// Assertions are the track's evaluated claims (empty when the track
+	// declares none), so the artifact carries its own verdicts.
+	Assertions []AssertionOutcome `json:"assertions,omitempty"`
 }
 
 // Validate checks a trajectory is structurally sound — the gate behind
@@ -462,11 +629,13 @@ func ensureDomain(d *TrackDataset, trackDir string) (string, error) {
 
 // ensureCorpus generates the dataset's corpus under CorpusDir, reusing an
 // existing file whose manifest matches the recipe (domain, docs, seed).
+// Embed datasets also get their embedding sidecar, back-filled even on
+// the reuse path so flipping the flag on doesn't demand a regeneration.
 func ensureCorpus(d *TrackDataset, domain string, opts Options) (string, error) {
 	path := filepath.Join(opts.CorpusDir, fmt.Sprintf("%s-n%d-s%d.ndjson", domain, d.Docs, d.Seed))
 	if m, err := corpus.ReadManifest(path); err == nil &&
 		m.Domain == domain && m.NumDocs == d.Docs && m.Seed == d.Seed {
-		return path, nil
+		return path, ensureSidecar(d, m, path)
 	}
 	g, err := corpus.NewGenerator(domain, d.Docs, d.rate(), d.Seed)
 	if err != nil {
@@ -476,10 +645,23 @@ func ensureCorpus(d *TrackDataset, domain string, opts Options) (string, error) 
 	if d.Rate != nil {
 		cfg["rate"] = *d.Rate
 	}
-	if _, err := corpus.SaveNDJSON(path, g, d.Seed, cfg); err != nil {
+	m, err := corpus.SaveNDJSON(path, g, d.Seed, cfg)
+	if err != nil {
 		return "", fmt.Errorf("bench: dataset %q: %w", d.Name, err)
 	}
-	return path, nil
+	return path, ensureSidecar(d, m, path)
+}
+
+// ensureSidecar writes the corpus's embedding sidecar when the dataset
+// asks for one and the manifest doesn't reference it yet.
+func ensureSidecar(d *TrackDataset, m *corpus.Manifest, path string) error {
+	if !d.Embed || m.Embeddings != nil {
+		return nil
+	}
+	if _, err := corpus.EmbedNDJSON(path, llm.EmbedDim, llm.EmbedVector); err != nil {
+		return fmt.Errorf("bench: dataset %q: %w", d.Name, err)
+	}
+	return nil
 }
 
 // runCell measures one grid point.

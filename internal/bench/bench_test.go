@@ -330,3 +330,142 @@ func TestLoadTrackDigest(t *testing.T) {
 }
 
 var _ = workloads.SupportPredicate // the mini track quotes it verbatim
+
+// cascadeMiniTrack is miniTrack with an embedded corpus, a cascade-capable
+// policy pair, and the two assertion kinds the cascade CI gate uses.
+const cascadeMiniTrack = `{
+  "name": "cascade-mini",
+  "datasets": [
+    {"name": "support", "domain": "support", "docs": 300, "seed": 17, "embed": true,
+     "ops": [{"op": "filter", "predicate": "The ticket is urgent and needs immediate attention"}]}
+  ],
+  "parallelism": [2],
+  "partitions": [1],
+  "policies": ["max-quality", "cost-at-quality"],
+  "policy_param": 0.95,
+  "assertions": [
+    {"kind": "cost_ratio_min", "dataset": "support",
+     "baseline_policy": "max-quality", "candidate_policy": "cost-at-quality", "value": 2.0},
+    {"kind": "quality_delta_max", "dataset": "support",
+     "baseline_policy": "max-quality", "candidate_policy": "cost-at-quality", "value": 0.05}
+  ]
+}`
+
+func TestParseTrackRejectsBadAssertions(t *testing.T) {
+	mut := func(old, new string) string { return strings.Replace(cascadeMiniTrack, old, new, 1) }
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"unknown kind", mut(`"kind": "cost_ratio_min"`, `"kind": "speedup"`), "unknown kind"},
+		{"undeclared dataset", mut(`"kind": "cost_ratio_min", "dataset": "support"`,
+			`"kind": "cost_ratio_min", "dataset": "nope"`), "undeclared dataset"},
+		{"off-axis policy", mut(`"baseline_policy": "max-quality", "candidate_policy": "cost-at-quality", "value": 2.0`,
+			`"baseline_policy": "min-cost", "candidate_policy": "cost-at-quality", "value": 2.0`), "outside the track's policy axis"},
+		{"zero ratio", mut(`"value": 2.0`, `"value": 0`), "positive ratio"},
+		{"negative delta", mut(`"value": 0.05`, `"value": -0.1`), "non-negative delta"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrack([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("ParseTrack accepted a bad assertion")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunCascadeTrackAndAssertions is the end-to-end bench path behind
+// tracks/cascade.json: the embed flag yields a sidecar, the cost policy's
+// cell really runs a cascade (visible in its trace summary), and the
+// track's own assertions hold on the measured grid.
+func TestRunCascadeTrackAndAssertions(t *testing.T) {
+	track, err := ParseTrack([]byte(cascadeMiniTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tr, err := Run(track, strings.Repeat("01", 32), Options{CorpusDir: dir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "support-n300-s17.ndjson.embeddings")); err != nil {
+		t.Fatalf("embed dataset wrote no sidecar: %v", err)
+	}
+	if len(tr.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(tr.Cells))
+	}
+	var cascCell *Cell
+	for i := range tr.Cells {
+		if tr.Cells[i].Policy == "cost-at-quality" {
+			cascCell = &tr.Cells[i]
+		}
+	}
+	if cascCell == nil || cascCell.Trace == nil {
+		t.Fatalf("no traced cost-at-quality cell in %+v", tr.Cells)
+	}
+	found := false
+	for _, st := range cascCell.Trace.Stages {
+		if strings.HasPrefix(st.Op, "cascade-filter(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cost-at-quality cell did not run a cascade: %+v", cascCell.Trace.Stages)
+	}
+
+	outcomes, err := EvalAssertions(track, tr)
+	if err != nil {
+		t.Fatalf("eval assertions: %v", err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.Pass {
+			t.Errorf("assertion failed: %s", o)
+		}
+		if !strings.Contains(o.String(), "PASS") && !strings.Contains(o.String(), "FAIL") {
+			t.Errorf("outcome renders no verdict: %q", o)
+		}
+	}
+
+	// An unsatisfiable ratio fails cleanly rather than erroring.
+	track.Assertions[0].Value = 1e9
+	outcomes, err = EvalAssertions(track, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Pass {
+		t.Fatalf("1e9x ratio claim passed: %s", outcomes[0])
+	}
+
+	// Reuse keeps the sidecar: a second run must not error and must
+	// leave the same embeddings file in place.
+	if _, err := Run(track, strings.Repeat("01", 32), Options{CorpusDir: dir}); err != nil {
+		t.Fatalf("reuse run: %v", err)
+	}
+}
+
+func TestEvalAssertionsStructuralErrors(t *testing.T) {
+	track, err := ParseTrack([]byte(cascadeMiniTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trajectory{Cells: []Cell{{Dataset: "support", Policy: "max-quality", CostUSD: 1}}}
+	if _, err := EvalAssertions(track, tr); err == nil ||
+		!strings.Contains(err.Error(), "no cells") {
+		t.Fatalf("want no-cells error, got %v", err)
+	}
+	// Quality claims need measured quality on both sides.
+	tr.Cells = append(tr.Cells, Cell{Dataset: "support", Policy: "cost-at-quality", CostUSD: 0.1})
+	track.Assertions = track.Assertions[1:]
+	if _, err := EvalAssertions(track, tr); err == nil ||
+		!strings.Contains(err.Error(), "no quality") {
+		t.Fatalf("want no-quality error, got %v", err)
+	}
+}

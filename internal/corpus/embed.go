@@ -1,0 +1,383 @@
+package corpus
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The embedding sidecar format: a binary file next to the corpus
+// ("corpus.ndjson" → "corpus.ndjson.embeddings") holding one fixed-width
+// vector per document in corpus order, keyed by the FNV-1a hash of the
+// document filename. The manifest references the sidecar with a SHA-256
+// checksum (Manifest.Embeddings), so `pzcorpus validate` can prove the
+// vectors belong to exactly this corpus, and the optimizer's cascade
+// prefilter can trust a sidecar it loads. The corpus package stays agnostic
+// about what the vectors mean: callers pass the embedding function in
+// (cmd/pzcorpus and the bench harness use llm.EmbedVector), and the format
+// records only the dimensionality.
+//
+// Layout (little-endian):
+//
+//	offset 0:  magic   [8]byte "PZEMBED\x00"
+//	offset 8:  version uint32 (currently 1)
+//	offset 12: dim     uint32
+//	offset 16: count   uint64
+//	offset 24: count rows of { key uint64; vec [dim]float32 }
+
+// EmbedSuffix is appended to a corpus path to name its embedding sidecar.
+const EmbedSuffix = ".embeddings"
+
+// embedMagic identifies a sidecar file.
+var embedMagic = [8]byte{'P', 'Z', 'E', 'M', 'B', 'E', 'D', 0}
+
+// EmbedFormatVersion is the current sidecar format version.
+const EmbedFormatVersion = 1
+
+// MaxEmbedDim bounds the vector dimensionality a sidecar may declare;
+// anything larger is rejected before it can size an allocation.
+const MaxEmbedDim = 4096
+
+// maxEmbedVectors bounds the vector count a sidecar may declare. The cap
+// matches the corpus-size ceilings elsewhere (pzbench caps tracks at 1M
+// docs) with generous headroom.
+const maxEmbedVectors = 1 << 28
+
+// embedHeaderBytes is the fixed header size.
+const embedHeaderBytes = 24
+
+// EmbeddingsRef is the manifest's pointer to an embedding sidecar.
+type EmbeddingsRef struct {
+	// File is the sidecar's base filename, informational only: readers
+	// always resolve corpusPath+EmbedSuffix, so a hostile manifest cannot
+	// aim them at an arbitrary path.
+	File string `json:"file"`
+	// SHA256 is the hex checksum of the sidecar file's bytes.
+	SHA256 string `json:"sha256"`
+	// Dim is the vector dimensionality.
+	Dim int `json:"dim"`
+	// NumVectors is the number of rows (one per document).
+	NumVectors int `json:"num_vectors"`
+	// Bytes is the sidecar file's size.
+	Bytes int64 `json:"bytes"`
+}
+
+// check rejects a structurally impossible sidecar reference — the same
+// validate-before-allocate posture ReadManifest applies to the partition
+// index.
+func (e *EmbeddingsRef) check(numDocs int) error {
+	if e.Dim < 1 || e.Dim > MaxEmbedDim {
+		return fmt.Errorf("embeddings dim %d outside [1,%d]", e.Dim, MaxEmbedDim)
+	}
+	if e.NumVectors < 0 || e.NumVectors > maxEmbedVectors {
+		return fmt.Errorf("embeddings vector count %d outside [0,%d]", e.NumVectors, maxEmbedVectors)
+	}
+	if e.NumVectors != numDocs {
+		return fmt.Errorf("embeddings vector count %d does not match %d documents", e.NumVectors, numDocs)
+	}
+	if want := embedSize(e.Dim, e.NumVectors); e.Bytes != want {
+		return fmt.Errorf("embeddings byte count %d does not match %d vectors of dim %d (want %d)",
+			e.Bytes, e.NumVectors, e.Dim, want)
+	}
+	if len(e.SHA256) != 64 {
+		return fmt.Errorf("embeddings sha256 %q is not a 64-hex digest", e.SHA256)
+	}
+	return nil
+}
+
+// embedSize is the exact file size of a sidecar with the given geometry.
+// Inputs are pre-bounded by check/readEmbedHeader, so the arithmetic
+// cannot overflow int64.
+func embedSize(dim, count int) int64 {
+	row := int64(8 + 4*dim)
+	return embedHeaderBytes + int64(count)*row
+}
+
+// FilenameKey is the sidecar's row key for a document filename.
+func FilenameKey(name string) uint64 { return fnv64(name) }
+
+// EmbedIndex is an embedding sidecar loaded into memory: fixed-width
+// vectors addressable by row (corpus order) or by document filename.
+type EmbedIndex struct {
+	dim   int
+	keys  []uint64
+	vecs  []float32 // flat, len = count*dim
+	byKey map[uint64]int
+}
+
+// NewEmbedIndex returns an empty in-memory index (used by writers and
+// tests; readers use OpenEmbedSidecar).
+func NewEmbedIndex(dim int) *EmbedIndex {
+	return &EmbedIndex{dim: dim, byKey: map[uint64]int{}}
+}
+
+// Dim returns the vector dimensionality.
+func (ix *EmbedIndex) Dim() int { return ix.dim }
+
+// Len returns the number of vectors.
+func (ix *EmbedIndex) Len() int { return len(ix.keys) }
+
+// Add appends a vector for filename. The vector is truncated or
+// zero-padded to the index dimensionality.
+func (ix *EmbedIndex) Add(filename string, vec []float64) {
+	key := FilenameKey(filename)
+	row := len(ix.keys)
+	ix.keys = append(ix.keys, key)
+	for i := 0; i < ix.dim; i++ {
+		var v float64
+		if i < len(vec) {
+			v = vec[i]
+		}
+		ix.vecs = append(ix.vecs, float32(v))
+	}
+	ix.byKey[key] = row
+}
+
+// At returns row i's key and vector (float64 for the vector package).
+func (ix *EmbedIndex) At(i int) (uint64, []float64) {
+	return ix.keys[i], ix.row(i)
+}
+
+// Vector returns the stored vector for a document filename.
+func (ix *EmbedIndex) Vector(filename string) ([]float64, bool) {
+	row, ok := ix.byKey[FilenameKey(filename)]
+	if !ok {
+		return nil, false
+	}
+	return ix.row(row), true
+}
+
+func (ix *EmbedIndex) row(i int) []float64 {
+	out := make([]float64, ix.dim)
+	base := i * ix.dim
+	for j := 0; j < ix.dim; j++ {
+		out[j] = float64(ix.vecs[base+j])
+	}
+	return out
+}
+
+// WriteEmbedSidecar serializes the index to w and returns the byte count
+// and checksum for the manifest reference.
+func WriteEmbedSidecar(w io.Writer, ix *EmbedIndex) (int64, string, error) {
+	h := sha256.New()
+	cw := &countingWriter{w: io.MultiWriter(w, h)}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+
+	hdr := make([]byte, embedHeaderBytes)
+	copy(hdr, embedMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], EmbedFormatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(ix.dim))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(ix.Len()))
+	if _, err := bw.Write(hdr); err != nil {
+		return 0, "", fmt.Errorf("corpus: write embeddings header: %w", err)
+	}
+
+	row := make([]byte, 8+4*ix.dim)
+	for i := 0; i < ix.Len(); i++ {
+		binary.LittleEndian.PutUint64(row, ix.keys[i])
+		base := i * ix.dim
+		for j := 0; j < ix.dim; j++ {
+			binary.LittleEndian.PutUint32(row[8+4*j:], math.Float32bits(ix.vecs[base+j]))
+		}
+		if _, err := bw.Write(row); err != nil {
+			return 0, "", fmt.Errorf("corpus: write embeddings row %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, "", fmt.Errorf("corpus: %w", err)
+	}
+	return cw.n, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// EmbedNDJSON back-fills the embedding sidecar of the corpus at path: one
+// streaming pass embeds every document's text with embed (a pure function;
+// pzcorpus passes llm.EmbedVector), writes path+EmbedSuffix, and rewrites
+// the manifest with the Embeddings reference attached. The corpus must
+// already have a manifest whose checksum matches the file (generate first,
+// or run `pzcorpus index`); a stale manifest is an error, not something to
+// silently overwrite. Returns the updated manifest.
+func EmbedNDJSON(path string, dim int, embed func(text string) []float64) (*Manifest, error) {
+	if dim < 1 || dim > MaxEmbedDim {
+		return nil, fmt.Errorf("corpus: embeddings dim %d outside [1,%d]", dim, MaxEmbedDim)
+	}
+	if embed == nil {
+		return nil, fmt.Errorf("corpus: nil embedding function")
+	}
+	m, err := ReadManifest(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: embed needs a manifest (run `pzcorpus index` first): %w", err)
+	}
+
+	r, err := OpenNDJSON(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	ix := NewEmbedIndex(dim)
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ix.Add(d.Filename, embed(d.Text))
+	}
+	if ix.Len() != m.NumDocs {
+		return nil, fmt.Errorf("corpus: %s has %d documents but manifest says %d — stale manifest, re-index first",
+			path, ix.Len(), m.NumDocs)
+	}
+
+	f, err := os.Create(path + EmbedSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	n, sum, werr := WriteEmbedSidecar(f, ix)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return nil, werr
+	}
+
+	m.Embeddings = &EmbeddingsRef{
+		File:       filepath.Base(path) + EmbedSuffix,
+		SHA256:     sum,
+		Dim:        dim,
+		NumVectors: ix.Len(),
+		Bytes:      n,
+	}
+	if err := WriteManifest(path, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// readEmbedHeader parses and bounds-checks a sidecar header.
+func readEmbedHeader(hdr []byte) (dim, count int, err error) {
+	var magic [8]byte
+	copy(magic[:], hdr)
+	if magic != embedMagic {
+		return 0, 0, fmt.Errorf("bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != EmbedFormatVersion {
+		return 0, 0, fmt.Errorf("unsupported version %d", v)
+	}
+	d := binary.LittleEndian.Uint32(hdr[12:])
+	c := binary.LittleEndian.Uint64(hdr[16:])
+	if d < 1 || d > MaxEmbedDim {
+		return 0, 0, fmt.Errorf("dim %d outside [1,%d]", d, MaxEmbedDim)
+	}
+	if c > maxEmbedVectors {
+		return 0, 0, fmt.Errorf("vector count %d exceeds %d", c, maxEmbedVectors)
+	}
+	return int(d), int(c), nil
+}
+
+// OpenEmbedSidecar loads the embedding sidecar of the corpus at path into
+// memory. The file's size must equal exactly what its header geometry
+// implies — checked against the stat size before any vector storage is
+// allocated, so a hostile header can never oversize an allocation. When
+// ref is non-nil (the manifest's reference), the header geometry and the
+// file's SHA-256 (computed during the load) must match it.
+func OpenEmbedSidecar(path string, ref *EmbeddingsRef) (*EmbedIndex, error) {
+	side := path + EmbedSuffix
+	f, err := os.Open(side)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	if st.Size() < embedHeaderBytes {
+		return nil, fmt.Errorf("corpus: %s: truncated sidecar (%d bytes)", side, st.Size())
+	}
+
+	h := sha256.New()
+	br := bufio.NewReaderSize(io.TeeReader(f, h), 1<<16)
+	hdr := make([]byte, embedHeaderBytes)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", side, err)
+	}
+	dim, count, err := readEmbedHeader(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %v", side, err)
+	}
+	if want := embedSize(dim, count); st.Size() != want {
+		return nil, fmt.Errorf("corpus: %s: size %d does not match header (dim=%d count=%d want %d)",
+			side, st.Size(), dim, count, want)
+	}
+	if ref != nil {
+		if dim != ref.Dim || count != ref.NumVectors || st.Size() != ref.Bytes {
+			return nil, fmt.Errorf("corpus: %s: header (dim=%d count=%d bytes=%d) disagrees with manifest (dim=%d count=%d bytes=%d)",
+				side, dim, count, st.Size(), ref.Dim, ref.NumVectors, ref.Bytes)
+		}
+	}
+
+	ix := &EmbedIndex{
+		dim:   dim,
+		keys:  make([]uint64, 0, count),
+		vecs:  make([]float32, 0, count*dim),
+		byKey: make(map[uint64]int, count),
+	}
+	row := make([]byte, 8+4*dim)
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, fmt.Errorf("corpus: %s: row %d: %w", side, i, err)
+		}
+		key := binary.LittleEndian.Uint64(row)
+		ix.keys = append(ix.keys, key)
+		for j := 0; j < dim; j++ {
+			bits := binary.LittleEndian.Uint32(row[8+4*j:])
+			v := math.Float32frombits(bits)
+			if f64 := float64(v); math.IsNaN(f64) || math.IsInf(f64, 0) {
+				return nil, fmt.Errorf("corpus: %s: row %d component %d is not finite", side, i, j)
+			}
+			ix.vecs = append(ix.vecs, v)
+		}
+		ix.byKey[key] = i
+	}
+	if ref != nil {
+		if got := hex.EncodeToString(h.Sum(nil)); got != ref.SHA256 {
+			return nil, fmt.Errorf("corpus: %s: checksum mismatch: file %s, manifest %s", side, got, ref.SHA256)
+		}
+	}
+	return ix, nil
+}
+
+// validateEmbeddings cross-checks a manifest's embedding sidecar against
+// the corpus: the sidecar must load (size, header, checksum all agree with
+// the reference) and carry exactly one row per document, keyed in document
+// order. docKeys are the filename hashes collected during the main
+// validation pass.
+func validateEmbeddings(rep *ValidationReport, path string, ref *EmbeddingsRef, docKeys []uint64) {
+	ix, err := OpenEmbedSidecar(path, ref)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			rep.errf("manifest references embeddings but sidecar %s is missing", path+EmbedSuffix)
+			return
+		}
+		rep.errf("embeddings: %v", err)
+		return
+	}
+	if ix.Len() != len(docKeys) {
+		rep.errf("embeddings row count mismatch: sidecar %d, corpus %d", ix.Len(), len(docKeys))
+		return
+	}
+	for i, want := range docKeys {
+		if got := ix.keys[i]; got != want {
+			rep.errf("embeddings row %d keyed %016x, document filename hashes to %016x", i, got, want)
+			return
+		}
+	}
+}

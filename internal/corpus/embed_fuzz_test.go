@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzEmbedSidecar hammers the embedding-sidecar reader and the
+// manifest's embeddings-reference validation with arbitrary bytes:
+// whatever the sidecar file and the manifest's reference claim —
+// truncated headers, hostile dimension/count geometry, checksum and key
+// mismatches — loading must fail with errors, never panic, and never
+// allocate beyond what the actual file size supports. Mirrors
+// FuzzNDJSONRead. Run longer with
+// `go test -fuzz FuzzEmbedSidecar ./internal/corpus`.
+func FuzzEmbedSidecar(f *testing.F) {
+	// A well-formed one-doc corpus + sidecar as the happy-path seed.
+	ix := NewEmbedIndex(2)
+	ix.Add("a.txt", []float64{0.5, -0.5})
+	var side []byte
+	{
+		hdr := make([]byte, embedHeaderBytes)
+		copy(hdr, embedMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:], EmbedFormatVersion)
+		binary.LittleEndian.PutUint32(hdr[12:], 2)
+		binary.LittleEndian.PutUint64(hdr[16:], 1)
+		row := make([]byte, 8+8)
+		binary.LittleEndian.PutUint64(row, FilenameKey("a.txt"))
+		binary.LittleEndian.PutUint32(row[8:], math.Float32bits(0.5))
+		binary.LittleEndian.PutUint32(row[12:], math.Float32bits(-0.5))
+		side = append(hdr, row...)
+	}
+	corpusLine := []byte(`{"filename":"a.txt","text":"alpha beta","truth":{"labels":{"x":true}}}` + "\n")
+
+	f.Add(side, corpusLine, 2, 1, false)
+	f.Add([]byte(nil), corpusLine, 2, 1, false)
+	f.Add(side[:embedHeaderBytes], corpusLine, 2, 0, true)
+	f.Add(side[:10], corpusLine, 2, 1, true)                               // truncated header
+	f.Add(append([]byte("XXXXXXXX"), side[8:]...), corpusLine, 2, 1, true) // bad magic
+	f.Add(side, corpusLine, 4096, 1, true)                                 // dim disagrees with file
+	f.Add(side, corpusLine, -1, -7, true)                                  // negative geometry
+	{
+		huge := append([]byte(nil), side...)
+		binary.LittleEndian.PutUint64(huge[16:], 1<<50) // header claims absurd count
+		f.Add(huge, corpusLine, 2, 1, true)
+	}
+
+	f.Fuzz(func(t *testing.T, sideBytes, corpusBytes []byte, dim, count int, withManifest bool) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.ndjson")
+		if err := os.WriteFile(path, corpusBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path+EmbedSuffix, sideBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// Direct open, with and without a manifest reference. Success
+		// must imply the in-memory geometry matches the file exactly —
+		// the reader may never allocate rows the file cannot back.
+		checkOpen := func(ref *EmbeddingsRef) {
+			got, err := OpenEmbedSidecar(path, ref)
+			if err != nil {
+				return
+			}
+			if got.Dim() < 1 || got.Dim() > MaxEmbedDim || got.Len() < 0 {
+				t.Fatalf("loaded impossible geometry dim=%d len=%d", got.Dim(), got.Len())
+			}
+			if want := embedSize(got.Dim(), got.Len()); want != int64(len(sideBytes)) {
+				t.Fatalf("loaded %d vectors of dim %d from a %d-byte file (want %d bytes)",
+					got.Len(), got.Dim(), len(sideBytes), want)
+			}
+		}
+		checkOpen(nil)
+		ref := &EmbeddingsRef{
+			File:       "fuzz.ndjson" + EmbedSuffix,
+			SHA256:     "0000000000000000000000000000000000000000000000000000000000000000",
+			Dim:        dim,
+			NumVectors: count,
+			Bytes:      int64(len(sideBytes)),
+		}
+		checkOpen(ref)
+
+		if withManifest {
+			// A manifest carrying the (possibly hostile) reference:
+			// ReadManifest must reject impossible geometry before any
+			// reader can act on it, and validation must never panic.
+			manifest := fmt.Sprintf(
+				`{"format_version":1,"num_docs":%d,"sha256":"","bytes":%d,"embeddings":{"file":%q,"sha256":%q,"dim":%d,"num_vectors":%d,"bytes":%d}}`,
+				count, len(corpusBytes), ref.File, ref.SHA256, dim, count, len(sideBytes))
+			if err := os.WriteFile(path+ManifestSuffix, []byte(manifest), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if m, err := ReadManifest(path); err == nil && m.Embeddings != nil {
+				if m.Embeddings.Dim < 1 || m.Embeddings.Dim > MaxEmbedDim || m.Embeddings.NumVectors < 0 {
+					t.Fatalf("manifest accepted impossible embeddings geometry: %+v", m.Embeddings)
+				}
+			}
+			if rep, err := ValidateNDJSON(path); err == nil && rep.Docs < 0 {
+				t.Fatalf("validation counted %d docs", rep.Docs)
+			}
+		}
+	})
+}

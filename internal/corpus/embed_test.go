@@ -1,0 +1,226 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// embedTestCorpus generates a small support corpus with a manifest at a
+// temp path and returns the corpus path.
+func embedTestCorpus(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "support.ndjson")
+	g, err := NewGenerator(DomainSupport, n, -1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveNDJSON(path, g, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testEmbed is a deterministic stand-in embedding function.
+func testEmbed(text string) []float64 {
+	v := make([]float64, 4)
+	for i := 0; i < len(text); i++ {
+		v[i%4] += float64(text[i]%13) - 6
+	}
+	return v
+}
+
+func TestEmbedNDJSONRoundTrip(t *testing.T) {
+	path := embedTestCorpus(t, 20)
+	m, err := EmbedNDJSON(path, 4, testEmbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Embeddings == nil {
+		t.Fatal("manifest has no embeddings reference")
+	}
+	if m.Embeddings.Dim != 4 || m.Embeddings.NumVectors != 20 {
+		t.Fatalf("bad reference geometry: %+v", m.Embeddings)
+	}
+
+	// The rewritten manifest must still read back (ReadManifest validates
+	// the reference), and the sidecar must load and agree with it.
+	m2, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenEmbedSidecar(path, m2.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 20 || ix.Dim() != 4 {
+		t.Fatalf("loaded %d vectors of dim %d, want 20 of 4", ix.Len(), ix.Dim())
+	}
+
+	// Row vectors must round-trip by filename (within float32 precision).
+	r, err := OpenNDJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	docs, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		got, ok := ix.Vector(d.Filename)
+		if !ok {
+			t.Fatalf("no vector for %s", d.Filename)
+		}
+		want := testEmbed(d.Text)
+		for i := range want {
+			if diff := got[i] - want[i]; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("%s component %d: got %v want %v", d.Filename, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Full corpus validation must pass with the sidecar attached.
+	rep, err := ValidateNDJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("validation failed: %v", rep.Errors)
+	}
+}
+
+func TestOpenEmbedSidecarRejectsCorruption(t *testing.T) {
+	path := embedTestCorpus(t, 8)
+	if _, err := EmbedNDJSON(path, 4, testEmbed); err != nil {
+		t.Fatal(err)
+	}
+	side := path + EmbedSuffix
+	good, err := os.ReadFile(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			b := append([]byte(nil), good...)
+			if err := os.WriteFile(side, mutate(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenEmbedSidecar(path, m.Embeddings); err == nil {
+				t.Fatal("corrupt sidecar loaded without error")
+			}
+		})
+	}
+
+	corrupt("truncated-header", func(b []byte) []byte { return b[:10] })
+	corrupt("truncated-rows", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("bad-version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:], 99)
+		return b
+	})
+	corrupt("dim-mismatch", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:], 8)
+		return b
+	})
+	corrupt("huge-count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:], 1<<40)
+		return b
+	})
+	corrupt("flipped-payload-byte", func(b []byte) []byte {
+		b[len(b)-1] ^= 0xff // breaks the checksum (and possibly finiteness)
+		return b
+	})
+}
+
+func TestReadManifestRejectsBadEmbeddingsRef(t *testing.T) {
+	path := embedTestCorpus(t, 5)
+	if _, err := EmbedNDJSON(path, 4, testEmbed); err != nil {
+		t.Fatal(err)
+	}
+	manifest := path + ManifestSuffix
+	good, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(name, from, to string) {
+		t.Run(name, func(t *testing.T) {
+			s := strings.Replace(string(good), from, to, 1)
+			if s == string(good) {
+				t.Fatalf("replacement %q not applied", from)
+			}
+			if err := os.WriteFile(manifest, []byte(s), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadManifest(path); err == nil {
+				t.Fatal("bad manifest accepted")
+			}
+			if err := os.WriteFile(manifest, good, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	bad("negative-dim", `"dim": 4`, `"dim": -1`)
+	bad("oversized-dim", `"dim": 4`, `"dim": 99999`)
+	bad("count-mismatch", `"num_vectors": 5`, `"num_vectors": 6`)
+	bad("short-digest", m1stShaPrefix(string(good)), `"sha256": "abc"`)
+}
+
+// m1stShaPrefix finds the embeddings sha256 line to replace (the manifest
+// has two sha256 fields; the embeddings one is inside the nested object).
+func m1stShaPrefix(manifest string) string {
+	i := strings.Index(manifest, `"embeddings"`)
+	j := strings.Index(manifest[i:], `"sha256"`)
+	k := strings.Index(manifest[i+j:], `,`)
+	return manifest[i+j : i+j+k]
+}
+
+func TestValidateNDJSONDetectsForeignSidecar(t *testing.T) {
+	// A sidecar regenerated from a different corpus (wrong keys) must fail
+	// validation even when its own geometry is self-consistent.
+	pathA := embedTestCorpus(t, 6)
+	if _, err := EmbedNDJSON(pathA, 4, testEmbed); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with vectors keyed by the wrong filenames but keep the
+	// manifest ref in sync (size and checksum valid).
+	ix := NewEmbedIndex(4)
+	for i := 0; i < 6; i++ {
+		ix.Add("someone-else.txt"+string(rune('a'+i)), []float64{1, 2, 3, 4})
+	}
+	f, err := os.Create(pathA + EmbedSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, sum, err := WriteEmbedSidecar(f, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Embeddings.SHA256 = sum
+	m.Embeddings.Bytes = n
+	if err := WriteManifest(pathA, m); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ValidateNDJSON(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("validation passed with a foreign sidecar")
+	}
+}

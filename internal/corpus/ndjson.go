@@ -52,6 +52,10 @@ type Manifest struct {
 	// reader per corpus slice. Absent on corpora written before the index
 	// existed; back-fill with IndexNDJSON / `pzcorpus index`.
 	Index *PartitionIndex `json:"index,omitempty"`
+	// Embeddings references the per-document embedding sidecar file (see
+	// EmbeddingsRef and the format comment in embed.go). Absent on corpora
+	// without one; back-fill with EmbedNDJSON / `pzcorpus embed`.
+	Embeddings *EmbeddingsRef `json:"embeddings,omitempty"`
 }
 
 // countingWriter tracks bytes written through it.
@@ -173,6 +177,11 @@ func ReadManifest(path string) (*Manifest, error) {
 	}
 	if m.Index != nil {
 		if err := m.Index.check(m.NumDocs, m.Bytes); err != nil {
+			return nil, fmt.Errorf("corpus: bad manifest for %s: %w", path, err)
+		}
+	}
+	if m.Embeddings != nil {
+		if err := m.Embeddings.check(m.NumDocs); err != nil {
 			return nil, fmt.Errorf("corpus: bad manifest for %s: %w", path, err)
 		}
 	}

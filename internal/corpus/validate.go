@@ -204,6 +204,11 @@ func ValidateNDJSON(path string) (*ValidationReport, error) {
 	// A hash collision would report a spurious duplicate; at 64 bits the
 	// odds are negligible (~n²/2^65).
 	seen := map[uint64]bool{}
+	// When the manifest references an embedding sidecar, keep the filename
+	// hashes in document order so the sidecar's row keys can be checked
+	// against the corpus exactly (8 bytes per document, same budget as the
+	// duplicate detector).
+	var docKeys []uint64
 	ixb := newIndexBuilder()
 	line := 0
 	for sc.Scan() {
@@ -230,6 +235,9 @@ func ValidateNDJSON(path string) (*ValidationReport, error) {
 			}
 		}
 		seen[nameHash] = true
+		if m != nil && m.Embeddings != nil {
+			docKeys = append(docKeys, nameHash)
+		}
 		if err := ValidateDoc(&d); err != nil {
 			if rep.errf("line %d: %v", line, err) {
 				return rep, nil
@@ -267,6 +275,9 @@ func ValidateNDJSON(path string) (*ValidationReport, error) {
 			}
 		}
 		validateIndex(rep, m.Index, ixb)
+		if m.Embeddings != nil {
+			validateEmbeddings(rep, path, m.Embeddings, docKeys)
+		}
 	}
 	return rep, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/llm"
@@ -66,6 +67,18 @@ type PartitionedSource interface {
 	IteratePartition(parts, part int, yield func(*record.Record) error) error
 }
 
+// EmbeddingSource is an optional Source capability: corpora that carry a
+// precomputed embedding sidecar (see corpus.EmbedNDJSON). The optimizer
+// only enumerates the cascade-filter physical strategy over sources with
+// this capability — the prefilter is free exactly because the vectors
+// were paid for once at corpus-build time.
+type EmbeddingSource interface {
+	// Embeddings returns the sidecar index, or (nil, nil) when the corpus
+	// has no sidecar. The load is lazy and cached: a cascade is only
+	// worth pricing when the capability is actually consulted.
+	Embeddings() (*corpus.EmbedIndex, error)
+}
+
 // statsSampleDocs is how many leading documents Stats-capable sources
 // read to estimate AvgTokens (matches the optimizer's own prefix sample).
 const statsSampleDocs = 16
@@ -83,8 +96,13 @@ type NDJSONSource struct {
 	schema *schema.Schema
 	stats  SourceStats
 	// manifest is the corpus manifest when present; its partition index
-	// (if any) is what backs the PartitionedSource capability.
+	// (if any) is what backs the PartitionedSource capability, and its
+	// embeddings reference (if any) the EmbeddingSource capability.
 	manifest *corpus.Manifest
+
+	embedOnce sync.Once
+	embedIx   *corpus.EmbedIndex
+	embedErr  error
 }
 
 // NewNDJSONSource opens the corpus at path and prepares a source. The
@@ -144,6 +162,24 @@ func (n *NDJSONSource) Len() int { return n.stats.NumRecords }
 
 // Stats implements Stater.
 func (n *NDJSONSource) Stats() (SourceStats, bool) { return n.stats, true }
+
+// Embeddings implements EmbeddingSource: the sidecar named by the
+// manifest is opened (and checksum-verified against the manifest's
+// reference) once, on first use, and cached for the process lifetime.
+func (n *NDJSONSource) Embeddings() (*corpus.EmbedIndex, error) {
+	if n.manifest == nil || n.manifest.Embeddings == nil {
+		return nil, nil
+	}
+	n.embedOnce.Do(func() {
+		ix, err := corpus.OpenEmbedSidecar(n.path, n.manifest.Embeddings)
+		if err != nil {
+			n.embedErr = fmt.Errorf("dataset: %w", err)
+			return
+		}
+		n.embedIx = ix
+	})
+	return n.embedIx, n.embedErr
+}
 
 // IterateRecords implements RecordIterator: each call re-opens the file
 // and decodes one document at a time, so memory stays constant in the

@@ -35,7 +35,7 @@ func buildRunTrace(engine string, stats *ops.RunStats, elapsed time.Duration, co
 		if stageTimes != nil && op.Position < len(stageTimes) {
 			simMS = stageTimes[op.Position].Milliseconds()
 		}
-		root.Add(&trace.Span{
+		stage := &trace.Span{
 			Kind:         trace.KindStage,
 			Name:         op.OpID,
 			OpID:         op.OpID,
@@ -49,7 +49,24 @@ func buildRunTrace(engine string, stats *ops.RunStats, elapsed time.Duration, co
 			InputTokens:  op.InputTokens,
 			OutputTokens: op.OutputTokens,
 			CacheHits:    op.CacheHits,
-		})
+		}
+		// Cascade stages carry one child span per tier. RecordsOut is what
+		// a tier settles into the stage output (Emitted) plus what it
+		// passes deeper (Passed), so consecutive tier spans chain:
+		// next.RecordsIn == prev Passed share of this tier's out.
+		for _, tier := range op.Tiers {
+			stage.Add(&trace.Span{
+				Kind:        trace.KindTier,
+				Name:        tier.Tier,
+				RecordsIn:   tier.In,
+				RecordsOut:  tier.Emitted + tier.Passed,
+				Selectivity: trace.Selectivity(tier.In, tier.Emitted+tier.Passed),
+				SimMS:       tier.Time.Milliseconds(),
+				CostUSD:     tier.CostUSD,
+				LLMCalls:    tier.LLMCalls,
+			})
+		}
+		root.Add(stage)
 		if i == 0 {
 			root.RecordsIn = op.InRecords
 		}

@@ -8,8 +8,11 @@ import (
 	"repro/internal/textutil"
 )
 
-// EmbedDim is the dimensionality of simulated embeddings.
-const EmbedDim = 64
+// EmbedDim is the dimensionality of simulated embeddings. 256 buckets
+// keeps hash collisions rare enough that a short discriminative phrase
+// (a few terms of a long document) survives into the vector — the
+// property semantic prefilters depend on.
+const EmbedDim = 256
 
 // Embed produces a deterministic embedding of text with the named embedding
 // model, charging its tokens to usage. The embedding is a term-feature hash:
@@ -48,11 +51,14 @@ func (s *Service) Embed(model, text string) ([]float64, *Response, error) {
 }
 
 // EmbedVector is the pure embedding function (no accounting): terms are
-// hashed into EmbedDim buckets with signed weights and the result is
-// L2-normalized. The zero vector is returned for term-less text.
+// hashed into EmbedDim buckets with signed sqrt-damped frequency weights
+// and the result is L2-normalized. The sublinear damping keeps repeated
+// boilerplate vocabulary from drowning the rare discriminative terms.
+// The zero vector is returned for term-less text.
 func EmbedVector(text string) []float64 {
 	vec := make([]float64, EmbedDim)
 	for term, w := range textutil.TermFreq(text) {
+		w = math.Sqrt(w)
 		h := fnv.New64a()
 		_, _ = h.Write([]byte(term))
 		sum := h.Sum64()

@@ -32,6 +32,17 @@ func decide(card ModelCard, req Request, resp *Response) {
 		got = !want
 	}
 	resp.Decision = got
+	// Self-assessed confidence, derived from the same noise draw:
+	// correct answers score in [0.5, 1), wrong answers in [0, 0.55) —
+	// mostly-calibrated self-knowledge with a small overconfident-wrong
+	// tail in [0.5, 0.55), so a cascade thresholding at 0.5 escalates
+	// almost every mistake but settles a tiny residue of them, the way a
+	// real confidence signal behaves.
+	if got == want {
+		resp.Confidence = 0.5 + 0.5*(u-(1-acc))/acc
+	} else {
+		resp.Confidence = 0.55 * u / (1 - acc)
+	}
 	resp.Text = fmt.Sprintf("%t", got)
 }
 

@@ -69,6 +69,14 @@ type Response struct {
 	Text string
 	// Decision is the boolean answer for TaskFilter.
 	Decision bool
+	// Confidence is the model's self-assessed probability that Decision is
+	// correct, in [0,1), for TaskFilter (0 for other tasks). The simulated
+	// confidence is calibrated but not perfect: answers the model got
+	// wrong mostly land below 0.5, with a small overconfident tail
+	// reaching just past it — which is exactly the signal a cascade's
+	// verify tier thresholds on to decide what escalates to the resolve
+	// model (see ops.CascadeFilterExec).
+	Confidence float64
 	// Extractions holds the field maps produced for TaskExtract (one map
 	// per extracted entity; at most one unless OneToMany).
 	Extractions []map[string]string

@@ -94,6 +94,14 @@ func TestRenderPromGolden(t *testing.T) {
 	c := NewCounters()
 	c.Add("queries_total", 42)
 	c.Add("queries_rejected", 3)
+	// The cascade counter family the serving layer accumulates from
+	// cascade-filter tier spans (see serve.accumulateCascadeCounters).
+	c.Add("cascade_queries", 2)
+	c.Add("cascade_prefilter_in", 200)
+	c.Add("cascade_prefilter_dropped", 120)
+	c.Add("cascade_verify_calls", 80)
+	c.Add("cascade_resolve_calls", 5)
+	c.Add("cascade_big_model_calls_saved", 195)
 	hs := &Histograms{}
 	for _, v := range []float64{0.05, 0.3, 0.3, 2, 45} {
 		hs.Observe("query_sim_seconds", LatencyBuckets, v)

@@ -64,13 +64,7 @@ func (f *LLMFilterExec) Execute(ctx *Ctx, in []*record.Record) ([]*record.Record
 		latency time.Duration
 	}
 	results, err := runParallel(ctx, in, func(r *record.Record) (res, error) {
-		resp, err := ctx.Client.Complete(llm.Request{
-			Model:     f.Model,
-			Task:      llm.TaskFilter,
-			Prompt:    filterPrompt(f.Filter.Predicate, r.Text()),
-			Record:    r,
-			Predicate: f.Filter.Predicate,
-		})
+		resp, err := ctx.Client.Complete(FilterRequest(f.Model, f.Filter.Predicate, r))
 		if err != nil {
 			return res{}, err
 		}
@@ -98,6 +92,22 @@ func filterPrompt(predicate, text string) string {
 	return fmt.Sprintf(
 		"You are evaluating a filter over a data record.\nCondition: %s\nRecord:\n%s\nAnswer exactly true or false.",
 		predicate, text)
+}
+
+// FilterRequest builds the canonical completion request for judging a
+// natural-language predicate over one record with one model. Every filter
+// strategy (plain, cascade tiers, and the optimizer's cascade calibration)
+// builds requests through this helper, so identical (model, predicate,
+// record) triples are byte-identical requests — the property response
+// caching and the cascade parity tests rely on.
+func FilterRequest(model, predicate string, r *record.Record) llm.Request {
+	return llm.Request{
+		Model:     model,
+		Task:      llm.TaskFilter,
+		Prompt:    filterPrompt(predicate, r.Text()),
+		Record:    r,
+		Predicate: predicate,
+	}
 }
 
 // EmbedFilterExec approximates a natural-language filter by embedding
@@ -173,7 +183,10 @@ func (f *EmbedFilterExec) Execute(ctx *Ctx, in []*record.Record) ([]*record.Reco
 	}
 	var out []*record.Record
 	for i, r := range in {
-		if sims[i] >= threshold {
+		// The epsilon keeps the adaptive mode non-degenerate when every
+		// similarity is identical: the accumulated mean can round one ULP
+		// above the common value, which would otherwise drop every record.
+		if sims[i] >= threshold-1e-9 {
 			out = append(out, r)
 		}
 	}

@@ -287,6 +287,34 @@ type OpStats struct {
 	CostUSD      float64
 	// Time is the simulated wall-clock the operator consumed.
 	Time time.Duration
+	// Tiers breaks a multi-tier operator's work down per routing tier
+	// (the cascade filter's prefilter/verify/resolve). Empty for
+	// single-tier operators. The exec layer renders each entry as a
+	// child span of the operator's stage span.
+	Tiers []TierStat
+}
+
+// TierStat is one routing tier's share of a multi-tier operator's work.
+// Record flow is conserved per tier: In = Emitted + Dropped + Passed,
+// and the next tier's In equals this tier's Passed — invariants the
+// trace tests reconcile against the parent stage.
+type TierStat struct {
+	// Tier names the tier ("prefilter", "verify", "resolve").
+	Tier string
+	// In is how many records entered the tier.
+	In int
+	// Emitted is how many records the tier decided to keep (they become
+	// operator output).
+	Emitted int
+	// Dropped is how many records the tier rejected.
+	Dropped int
+	// Passed is how many records the tier escalated to the next tier.
+	Passed int
+	// LLMCalls and CostUSD account the tier's LLM work.
+	LLMCalls int
+	CostUSD  float64
+	// Time is the simulated wall-clock the tier consumed.
+	Time time.Duration
 }
 
 // RunStats aggregates operator statistics for a pipeline run.
@@ -340,13 +368,41 @@ func (s *RunStats) noteTime(pos int, id, kind string, d time.Duration) {
 	s.mu.Unlock()
 }
 
+// noteTier accumulates one batch's tier-level accounting onto an operator,
+// merging by tier name (the pipelined engine calls this once per tier per
+// batch). Tier order in OpStats.Tiers is first-recorded order, which is
+// the cascade's fixed tier order because every batch records its tiers
+// front to back.
+func (s *RunStats) noteTier(pos int, id, kind string, t TierStat) {
+	st := s.op(pos, id, kind)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range st.Tiers {
+		if st.Tiers[i].Tier == t.Tier {
+			st.Tiers[i].In += t.In
+			st.Tiers[i].Emitted += t.Emitted
+			st.Tiers[i].Dropped += t.Dropped
+			st.Tiers[i].Passed += t.Passed
+			st.Tiers[i].LLMCalls += t.LLMCalls
+			st.Tiers[i].CostUSD += t.CostUSD
+			st.Tiers[i].Time += t.Time
+			return
+		}
+	}
+	st.Tiers = append(st.Tiers, t)
+}
+
 // Ops returns the per-operator stats ordered by plan position.
 func (s *RunStats) Ops() []OpStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]OpStats, 0, len(s.ops))
 	for _, st := range s.ops {
-		out = append(out, *st)
+		cp := *st
+		// Deep-copy the tier slice: callers may read the snapshot while
+		// later batches keep merging into the live entries.
+		cp.Tiers = append([]TierStat(nil), st.Tiers...)
+		out = append(out, cp)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Position < out[j].Position })
 	return out

@@ -33,6 +33,11 @@ func Fingerprint(chain []ops.Logical, policy Policy, opts Options) string {
 	h.Write([]byte{0})
 	fmt.Fprintf(h, "opts|pruning=%t|sample=%d|maxplans=%d|pipelined=%t|partitions=%d|cluster=%d",
 		opts.Pruning, opts.SampleSize, opts.MaxPlans, opts.Pipelined, opts.Partitions, opts.ClusterWorkers)
+	// Cascade knobs shape the enumerated plan space (and the calibrated
+	// thresholds inside it), so plans optimized with different cascade
+	// settings must occupy distinct plan-cache slots.
+	fmt.Fprintf(h, "|nocascade=%t|cascadesample=%d|cascaderecall=%g",
+		opts.NoCascade, opts.CascadeSample, opts.CascadeMinRecall)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

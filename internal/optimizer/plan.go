@@ -138,6 +138,16 @@ type Options struct {
 	// 2 workers overlap only 2 at a time. The enumerator stamps it onto
 	// scans (ops.ScanExec.Workers) so cached plans keep their topology.
 	ClusterWorkers int
+	// NoCascade disables the semantic-index cascade calibration pass, so
+	// no cascade-filter strategy is ever enumerated.
+	NoCascade bool
+	// CascadeSample is the calibration sample size for cascade pricing
+	// (0 = DefaultCascadeSample). Only consulted when a chain qualifies
+	// for cascade enumeration (see CalibrateCascade).
+	CascadeSample int
+	// CascadeMinRecall is the sample-positive recall the prefilter
+	// threshold must retain (0 = DefaultCascadeMinRecall).
+	CascadeMinRecall float64
 }
 
 // Optimizer enumerates and ranks physical plans.
@@ -214,7 +224,17 @@ func (o *Optimizer) Optimize(chain []ops.Logical, policy Policy, ctx *ops.Ctx) (
 			return nil, nil, fmt.Errorf("optimizer: calibration: %w", err)
 		}
 	}
-	plans := o.enumerate(chain, initial, calib)
+	// The cascade pass needs an execution context for its sentinel verify
+	// calls; without one (estimate-only optimization) the strategy is
+	// simply not enumerated.
+	var casc *CascadeCalibration
+	if ctx != nil && !o.opts.NoCascade {
+		casc, err = CalibrateCascade(chain, o.opts, ctx)
+		if err != nil {
+			return nil, nil, cascadeErr(err)
+		}
+	}
+	plans := o.enumerate(chain, initial, calib, casc)
 	if len(plans) == 0 {
 		return nil, nil, fmt.Errorf("optimizer: no physical plans for %d-op chain", len(chain))
 	}
@@ -227,10 +247,16 @@ func (o *Optimizer) Optimize(chain []ops.Logical, policy Policy, ctx *ops.Ctx) (
 
 // enumerate expands the physical plan space left to right, applying
 // calibration overrides and (optionally) Pareto pruning after each step.
-func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib Calibration) []*Plan {
+func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib Calibration, casc *CascadeCalibration) []*Plan {
 	prefixes := []*Plan{{Logical: chain}}
 	for pos, lop := range chain {
 		options := lop.Physical()
+		if casc != nil && pos == casc.Pos {
+			// Calibrated cascade strategies join the position's generic
+			// options; they carry their own measurements, so the generic
+			// calibration overrides below don't apply to them.
+			options = append(append([]ops.Physical{}, options...), casc.Candidates...)
+		}
 		for _, phys := range options {
 			calib.apply(pos, phys)
 			// Stamp the requested fan-out and cluster topology onto scans

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/trace"
+)
+
+// cascadeTrace builds a trace shaped like a cascade query: one stage span
+// with prefilter/verify/resolve tier children.
+func cascadeTrace() *trace.Span {
+	stage := &trace.Span{Kind: trace.KindStage, Name: "cascade-filter", RecordsIn: 100, RecordsOut: 28}
+	stage.Add(
+		&trace.Span{Kind: trace.KindTier, Name: ops.TierPrefilter, RecordsIn: 100, RecordsOut: 40},
+		&trace.Span{Kind: trace.KindTier, Name: ops.TierVerify, RecordsIn: 40, RecordsOut: 30, LLMCalls: 40},
+		&trace.Span{Kind: trace.KindTier, Name: ops.TierResolve, RecordsIn: 5, RecordsOut: 3, LLMCalls: 5},
+	)
+	root := &trace.Span{Kind: trace.KindQuery, Name: "sequential"}
+	return root.Add(&trace.Span{Kind: trace.KindStage, Name: "scan"}, stage)
+}
+
+func TestAccumulateCascadeCounters(t *testing.T) {
+	c := metrics.NewCounters()
+	tr := cascadeTrace()
+	accumulateCascadeCounters(c, tr)
+	accumulateCascadeCounters(c, tr) // two cascade queries accumulate
+
+	want := map[string]int64{
+		"cascade_queries":           2,
+		"cascade_prefilter_in":      200,
+		"cascade_prefilter_dropped": 120,
+		"cascade_verify_calls":      80,
+		"cascade_resolve_calls":     10,
+		// Saved = records entering the prefilter minus actual big-model
+		// calls: 2 × (100 - 5).
+		"cascade_big_model_calls_saved": 190,
+	}
+	for name, v := range want {
+		if got := c.Get(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+
+	// A cascade-free trace must contribute nothing to the family.
+	plain := &trace.Span{Kind: trace.KindQuery, Name: "sequential"}
+	plain.Add(&trace.Span{Kind: trace.KindStage, Name: "scan"},
+		&trace.Span{Kind: trace.KindStage, Name: "llm-filter(atlas-large)"})
+	before := c.Get("cascade_queries")
+	accumulateCascadeCounters(c, plain)
+	if got := c.Get("cascade_queries"); got != before {
+		t.Errorf("plain trace bumped cascade_queries to %d", got)
+	}
+}

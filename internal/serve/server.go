@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/ops"
 	"repro/internal/optimizer"
 	"repro/internal/trace"
 	"repro/pz"
@@ -453,6 +454,7 @@ func (s *Server) observeDone(job *Job, tr *trace.Span, elapsedSimMS int64, costU
 	s.hists.Observe("query_cost_usd", metrics.CostBuckets, costUSD)
 	if tr != nil {
 		job.setTrace(tr)
+		accumulateCascadeCounters(s.counters, tr)
 		s.traces.Push(&trace.Document{
 			SchemaVersion: trace.SchemaVersion,
 			JobID:         job.ID(),
@@ -469,6 +471,32 @@ func (s *Server) observeDone(job *Job, tr *trace.Span, elapsedSimMS int64, costU
 			CostUSD:      costUSD,
 			Plan:         plan,
 		})
+	}
+}
+
+// accumulateCascadeCounters folds a completed query's cascade tier spans
+// into the cascade_* counter family: per-tier record and call volume, and
+// the headline cascade_big_model_calls_saved — records the prefilter and
+// verify tiers settled without the resolve model, i.e. big-model calls a
+// plain llm-filter plan would have made that the cascade skipped.
+func accumulateCascadeCounters(c *metrics.Counters, tr *trace.Span) {
+	tiers := tr.FindAll(trace.KindTier)
+	if len(tiers) == 0 {
+		return
+	}
+	c.Inc("cascade_queries")
+	for _, tier := range tiers {
+		switch tier.Name {
+		case ops.TierPrefilter:
+			c.Add("cascade_prefilter_in", int64(tier.RecordsIn))
+			c.Add("cascade_prefilter_dropped", int64(tier.RecordsIn-tier.RecordsOut))
+			c.Add("cascade_big_model_calls_saved", int64(tier.RecordsIn))
+		case ops.TierVerify:
+			c.Add("cascade_verify_calls", int64(tier.LLMCalls))
+		case ops.TierResolve:
+			c.Add("cascade_resolve_calls", int64(tier.LLMCalls))
+			c.Add("cascade_big_model_calls_saved", -int64(tier.LLMCalls))
+		}
 	}
 }
 

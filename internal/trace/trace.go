@@ -34,6 +34,12 @@ const (
 	// KindPartition is one partition of a partitioned scan prefix — an
 	// in-process range reader, or one scattered cluster partition.
 	KindPartition = "partition"
+	// KindTier is one tier of a cascade-filter stage (prefilter, verify,
+	// resolve), nested under its stage span. Tier spans reconcile with
+	// their parent: records entering the stage enter the first tier, each
+	// tier's pass-through feeds the next, and the stage's cost is the sum
+	// of its tiers'.
+	KindTier = "tier"
 	// KindWorker is a worker-side execution embedded under a cluster
 	// partition span (Worker names the executing daemon).
 	KindWorker = "worker"

@@ -183,6 +183,15 @@ type Config struct {
 	SampleSize int
 	// Pruning enables Pareto pruning during plan enumeration.
 	Pruning bool
+	// NoCascade disables the semantic-index cascade strategy: the
+	// optimizer never calibrates or enumerates cascade-filter plans.
+	NoCascade bool
+	// CascadeSample is the cascade calibration sample size
+	// (0 = optimizer.DefaultCascadeSample).
+	CascadeSample int
+	// CascadeMinRecall is the sample-positive recall the cascade prefilter
+	// threshold must retain (0 = optimizer.DefaultCascadeMinRecall).
+	CascadeMinRecall float64
 	// FailureRate injects transient LLM failures (testing).
 	FailureRate float64
 	// MaxAttempts bounds per-call LLM retries.
@@ -506,10 +515,13 @@ func (c *Context) ExecuteContext(ctx context.Context, d *Dataset, policy Policy)
 		return nil, d.err
 	}
 	res, err := c.executor.ExecuteContext(ctx, d.chain, policy, optimizer.Options{
-		Pruning:        c.cfg.Pruning,
-		SampleSize:     c.cfg.SampleSize,
-		Partitions:     d.partitions,
-		ClusterWorkers: c.cfg.ClusterWorkers,
+		Pruning:          c.cfg.Pruning,
+		SampleSize:       c.cfg.SampleSize,
+		Partitions:       d.partitions,
+		ClusterWorkers:   c.cfg.ClusterWorkers,
+		NoCascade:        c.cfg.NoCascade,
+		CascadeSample:    c.cfg.CascadeSample,
+		CascadeMinRecall: c.cfg.CascadeMinRecall,
 	})
 	if err != nil {
 		return nil, err
@@ -537,11 +549,14 @@ type OptimizerOptions = optimizer.Options
 // cached plans are only reused under identical optimization settings.
 func (c *Context) OptimizerOptions() OptimizerOptions {
 	return optimizer.Options{
-		Pruning:        c.cfg.Pruning,
-		SampleSize:     c.cfg.SampleSize,
-		Partitions:     c.cfg.Partitions,
-		ClusterWorkers: c.cfg.ClusterWorkers,
-		Pipelined:      c.cfg.Parallelism > 1 || c.cfg.Partitions > 1,
+		Pruning:          c.cfg.Pruning,
+		SampleSize:       c.cfg.SampleSize,
+		Partitions:       c.cfg.Partitions,
+		ClusterWorkers:   c.cfg.ClusterWorkers,
+		Pipelined:        c.cfg.Parallelism > 1 || c.cfg.Partitions > 1,
+		NoCascade:        c.cfg.NoCascade,
+		CascadeSample:    c.cfg.CascadeSample,
+		CascadeMinRecall: c.cfg.CascadeMinRecall,
 	}
 }
 
@@ -585,6 +600,12 @@ func (c *Context) OptimizeOnly(d *Dataset, policy Policy) (*Plan, []*Plan, error
 	if d.err != nil {
 		return nil, nil, d.err
 	}
-	opt := optimizer.New(optimizer.Options{Pruning: c.cfg.Pruning, SampleSize: c.cfg.SampleSize})
+	opt := optimizer.New(optimizer.Options{
+		Pruning:          c.cfg.Pruning,
+		SampleSize:       c.cfg.SampleSize,
+		NoCascade:        c.cfg.NoCascade,
+		CascadeSample:    c.cfg.CascadeSample,
+		CascadeMinRecall: c.cfg.CascadeMinRecall,
+	})
 	return opt.Optimize(d.chain, policy, c.executor.NewCtx())
 }
