@@ -60,7 +60,12 @@ func TestRunValidation(t *testing.T) {
 	}{
 		{"zero parallelism", nil, func(o *serveOptions) { o.parallelism = 0 }},
 		{"negative partitions", nil, func(o *serveOptions) { o.partitions = -1 }},
+		{"negative reopt after", nil, func(o *serveOptions) { o.reoptAfter = -1 }},
+		{"negative reopt divergence", nil, func(o *serveOptions) { o.reoptDivergence = -0.1 }},
 		{"cluster zero retries", nil, func(o *serveOptions) { o.cluster = true; o.partitionRetries = 0 }},
+		{"cluster zero partition timeout", nil, func(o *serveOptions) { o.cluster = true; o.partitionTimeout = 0 }},
+		{"cluster zero straggler after", nil, func(o *serveOptions) { o.cluster = true; o.stragglerAfter = 0 }},
+		{"cluster negative straggler after", nil, func(o *serveOptions) { o.cluster = true; o.stragglerAfter = -time.Second }},
 		{"missing dataset", map[string]string{"x": filepath.Join(dir, "nope")}, nil},
 		{"unsupported dataset file", map[string]string{"x": notCorpus}, nil},
 		{"bad static worker", nil, func(o *serveOptions) {

@@ -32,8 +32,10 @@ import (
 )
 
 // SchemaVersion is the trajectory artifact format version. v2 added the
-// per-cell trace summary digest.
-const SchemaVersion = 2
+// per-cell trace summary digest; v3 added per-cell trace_error, dataset
+// estimate priors and re-optimization knobs, and cross-dataset assertion
+// baselines.
+const SchemaVersion = 3
 
 // Limits on track shape: tracks are user input, and every knob multiplies
 // the grid, so each axis is bounded before the runner fans out.
@@ -101,6 +103,24 @@ type TrackDataset struct {
 	Embed bool `json:"embed,omitempty"`
 	// Ops is the declarative operator chain to execute (serve wire form).
 	Ops []serve.OpSpec `json:"ops"`
+	// Priors seeds the optimizer's cost-model estimates by logical plan
+	// position (1 = the first op after the scan) — how a track stages the
+	// mis-estimation scenarios re-optimization recovers from. Local mode
+	// only; server cells ignore priors (they cannot cross the wire).
+	Priors map[int]PriorSpec `json:"priors,omitempty"`
+	// ReoptAfter enables adaptive mid-flight re-optimization for the
+	// dataset's cells: the observation window in batches (0 = off).
+	ReoptAfter int `json:"reopt_after,omitempty"`
+	// ReoptDivergence overrides the re-plan divergence trigger (0 = the
+	// engine default).
+	ReoptDivergence float64 `json:"reopt_divergence,omitempty"`
+}
+
+// PriorSpec is one seeded cost-model estimate: selectivity for a filter
+// position, fan-out for a convert position.
+type PriorSpec struct {
+	Selectivity float64 `json:"selectivity,omitempty"`
+	Fanout      float64 `json:"fanout,omitempty"`
 }
 
 func (d *TrackDataset) rate() float64 {
@@ -108,6 +128,18 @@ func (d *TrackDataset) rate() float64 {
 		return -1
 	}
 	return *d.Rate
+}
+
+// priors converts the dataset's seeded estimates into the engine's form.
+func (d *TrackDataset) priors() map[int]pz.OpEstimate {
+	if len(d.Priors) == 0 {
+		return nil
+	}
+	out := make(map[int]pz.OpEstimate, len(d.Priors))
+	for pos, p := range d.Priors {
+		out[pos] = pz.OpEstimate{Selectivity: p.Selectivity, Fanout: p.Fanout}
+	}
+	return out
 }
 
 // Assertion kinds.
@@ -127,6 +159,11 @@ type TrackAssertion struct {
 	Kind string `json:"kind"`
 	// Dataset names the dataset whose cells the claim is about.
 	Dataset string `json:"dataset"`
+	// BaselineDataset optionally draws the baseline cells from a different
+	// dataset than the candidate's — how a track compares the same
+	// pipeline under different priors (e.g. re-optimization recovery vs an
+	// omnisciently-seeded twin). Empty means Dataset.
+	BaselineDataset string `json:"baseline_dataset,omitempty"`
 	// BaselinePolicy and CandidatePolicy are the two policy axis values
 	// compared; both must appear in the track's Policies.
 	BaselinePolicy  string `json:"baseline_policy"`
@@ -209,6 +246,23 @@ func (t *Track) validate() error {
 		if len(d.Ops) == 0 {
 			return fmt.Errorf("bench: dataset %q declares no ops", d.Name)
 		}
+		if d.ReoptAfter < 0 {
+			return fmt.Errorf("bench: dataset %q reopt_after %d is negative", d.Name, d.ReoptAfter)
+		}
+		if d.ReoptDivergence < 0 {
+			return fmt.Errorf("bench: dataset %q reopt_divergence %v is negative", d.Name, d.ReoptDivergence)
+		}
+		for pos, p := range d.Priors {
+			if pos < 1 || pos > len(d.Ops) {
+				return fmt.Errorf("bench: dataset %q prior position %d outside the pipeline [1, %d]", d.Name, pos, len(d.Ops))
+			}
+			if p.Selectivity < 0 || p.Selectivity > 1 {
+				return fmt.Errorf("bench: dataset %q prior %d selectivity %v outside [0, 1]", d.Name, pos, p.Selectivity)
+			}
+			if p.Fanout < 0 {
+				return fmt.Errorf("bench: dataset %q prior %d fanout %v is negative", d.Name, pos, p.Fanout)
+			}
+		}
 	}
 	for _, axis := range []struct {
 		what string
@@ -247,6 +301,9 @@ func (t *Track) validate() error {
 		if !seen[a.Dataset] {
 			return fmt.Errorf("bench: assertion %d names undeclared dataset %q", i, a.Dataset)
 		}
+		if a.BaselineDataset != "" && !seen[a.BaselineDataset] {
+			return fmt.Errorf("bench: assertion %d names undeclared baseline dataset %q", i, a.BaselineDataset)
+		}
 		for _, p := range []string{a.BaselinePolicy, a.CandidatePolicy} {
 			if !policies[p] {
 				return fmt.Errorf("bench: assertion %d names policy %q outside the track's policy axis", i, p)
@@ -272,7 +329,7 @@ func EvalAssertions(t *Track, tr *Trajectory) ([]AssertionOutcome, error) {
 	}
 	out := make([]AssertionOutcome, 0, len(t.Assertions))
 	for i, a := range t.Assertions {
-		base, err := gatherCells(tr, a.Dataset, a.BaselinePolicy)
+		base, err := gatherCells(tr, a.baselineDataset(), a.BaselinePolicy)
 		if err != nil {
 			return nil, fmt.Errorf("bench: assertion %d: %w", i, err)
 		}
@@ -305,6 +362,14 @@ func EvalAssertions(t *Track, tr *Trajectory) ([]AssertionOutcome, error) {
 	return out, nil
 }
 
+// baselineDataset resolves the dataset the baseline cells come from.
+func (a *TrackAssertion) baselineDataset() string {
+	if a.BaselineDataset != "" {
+		return a.BaselineDataset
+	}
+	return a.Dataset
+}
+
 // String renders an outcome as one human-readable verdict line.
 func (o AssertionOutcome) String() string {
 	verdict := "PASS"
@@ -315,8 +380,13 @@ func (o AssertionOutcome) String() string {
 	if o.Kind == AssertQualityDeltaMax {
 		op = "<="
 	}
+	candidate, baseline := o.CandidatePolicy, o.BaselinePolicy
+	if o.BaselineDataset != "" && o.BaselineDataset != o.Dataset {
+		candidate = o.Dataset + "/" + candidate
+		baseline = o.BaselineDataset + "/" + baseline
+	}
 	return fmt.Sprintf("%s %s: %s vs %s: %.4f %s %.4f  %s",
-		o.Kind, o.Dataset, o.CandidatePolicy, o.BaselinePolicy, o.Measured, op, o.Value, verdict)
+		o.Kind, o.Dataset, candidate, baseline, o.Measured, op, o.Value, verdict)
 }
 
 // cellGroup aggregates the cells matching one (dataset, policy) pair.
@@ -404,6 +474,10 @@ type Cell struct {
 	// simulated time, cost, and records went, stage by stage. Nil when
 	// the engine (or a remote pzserve) produced no trace.
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// TraceError records why a server-mode trace fetch came back empty
+	// (HTTP failure, old daemon, decode error) instead of leaving a
+	// silently nil Trace — a missing digest is a finding, not a shrug.
+	TraceError string `json:"trace_error,omitempty"`
 }
 
 // TraceSummary condenses a cell's query trace into the flat per-stage
@@ -671,11 +745,13 @@ func runCell(t *Track, d *TrackDataset, domain, corpusPath string, par, parts in
 		Parallelism: par, Partitions: parts, Policy: policy,
 	}
 	pspec := &serve.Spec{
-		Dataset:     serve.DatasetSpec{Name: d.Name, File: corpusPath},
-		Ops:         d.Ops,
-		Policy:      policy,
-		PolicyParam: t.PolicyParam,
-		Partitions:  parts,
+		Dataset:         serve.DatasetSpec{Name: d.Name, File: corpusPath},
+		Ops:             d.Ops,
+		Policy:          policy,
+		PolicyParam:     t.PolicyParam,
+		Partitions:      parts,
+		ReoptAfter:      d.ReoptAfter,
+		ReoptDivergence: d.ReoptDivergence,
 	}
 	start := time.Now()
 	if opts.ServerURL != "" {
@@ -699,7 +775,10 @@ func runCell(t *Track, d *TrackDataset, domain, corpusPath string, par, parts in
 }
 
 func runCellLocal(cell *Cell, d *TrackDataset, pspec *serve.Spec, par, parts int, corpusPath string) error {
-	ctx, err := pz.NewContext(pz.Config{Parallelism: par, Partitions: parts})
+	ctx, err := pz.NewContext(pz.Config{
+		Parallelism: par, Partitions: parts,
+		EstimatePriors: d.priors(),
+	})
 	if err != nil {
 		return err
 	}
@@ -775,29 +854,33 @@ func runCellServer(cell *Cell, pspec *serve.Spec, url string) error {
 	cell.Candidates = view.Result.Candidates
 	cell.ElapsedSimMS = view.Result.ElapsedSimMS
 	cell.CostUSD = view.Result.CostUSD
-	// The trace digest is best-effort in server mode: an older daemon
-	// without /v1/jobs/{id}/trace just leaves cell.Trace nil.
-	cell.Trace = fetchCellTrace(url, view.ID)
+	// The trace digest is best-effort in server mode — the cell still
+	// measures without one — but the reason it is missing is recorded on
+	// the cell and warned about, not swallowed.
+	if cell.Trace, err = fetchCellTrace(url, view.ID); err != nil {
+		cell.TraceError = err.Error()
+		fmt.Fprintf(os.Stderr, "bench: warning: %s: trace fetch failed: %v\n", cell.Dataset, err)
+	}
 	return nil
 }
 
-// fetchCellTrace retrieves and digests a completed job's trace, returning
-// nil on any failure.
-func fetchCellTrace(url, jobID string) *TraceSummary {
+// fetchCellTrace retrieves and digests a completed job's trace. The error
+// says why no digest came back (old daemon, HTTP failure, bad payload).
+func fetchCellTrace(url, jobID string) (*TraceSummary, error) {
 	if jobID == "" {
-		return nil
+		return nil, fmt.Errorf("server response carried no job id")
 	}
 	resp, err := http.Get(strings.TrimRight(url, "/") + "/v1/jobs/" + jobID + "/trace")
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil
+		return nil, fmt.Errorf("GET /v1/jobs/%s/trace returned HTTP %d", jobID, resp.StatusCode)
 	}
 	var doc trace.Document
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil
+		return nil, fmt.Errorf("decode trace document: %w", err)
 	}
-	return summarizeTrace(doc.Trace)
+	return summarizeTrace(doc.Trace), nil
 }

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -467,5 +469,100 @@ func TestEvalAssertionsStructuralErrors(t *testing.T) {
 	if _, err := EvalAssertions(track, tr); err == nil ||
 		!strings.Contains(err.Error(), "no quality") {
 		t.Fatalf("want no-quality error, got %v", err)
+	}
+}
+
+func TestParseTrackRejectsReoptAndPriors(t *testing.T) {
+	mut := func(old, new string) string { return strings.Replace(miniTrack, old, new, 1) }
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"negative reopt after", mut(`"seed": 5,`, `"seed": 5, "reopt_after": -1,`), "reopt_after -1"},
+		{"negative reopt divergence", mut(`"seed": 5,`, `"seed": 5, "reopt_divergence": -0.5,`), "reopt_divergence -0.5"},
+		{"prior at scan", mut(`"seed": 5,`, `"seed": 5, "priors": {"0": {"selectivity": 0.5}},`), "prior position 0"},
+		{"prior past pipeline", mut(`"seed": 5,`, `"seed": 5, "priors": {"9": {"selectivity": 0.5}},`), "prior position 9"},
+		{"prior selectivity above one", mut(`"seed": 5,`, `"seed": 5, "priors": {"1": {"selectivity": 1.5}},`), "selectivity 1.5"},
+		{"prior negative fanout", mut(`"seed": 5,`, `"seed": 5, "priors": {"1": {"fanout": -2}},`), "fanout -2"},
+		{"undeclared baseline dataset", strings.Replace(miniTrack, `"policies": ["max-quality"]`,
+			`"policies": ["max-quality"],
+  "assertions": [{"kind": "cost_ratio_min", "dataset": "support", "baseline_dataset": "ghost",
+    "baseline_policy": "max-quality", "candidate_policy": "max-quality", "value": 1}]`, 1),
+			`undeclared baseline dataset "ghost"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrack([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("ParseTrack accepted a bad track")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEvalAssertionsCrossDataset: a cost_ratio_min whose baseline cells
+// come from a different dataset — the shape the reopt track uses to gate
+// the mis-seeded pipeline's recovered cost against its omnisciently-seeded
+// twin.
+func TestEvalAssertionsCrossDataset(t *testing.T) {
+	track := &Track{
+		Assertions: []TrackAssertion{{
+			Kind: AssertCostRatioMin, Dataset: "misseeded", BaselineDataset: "omniscient",
+			BaselinePolicy: "max-quality", CandidatePolicy: "max-quality", Value: 0.9,
+		}},
+	}
+	tr := &Trajectory{Cells: []Cell{
+		{Dataset: "omniscient", Policy: "max-quality", CostUSD: 2.0},
+		{Dataset: "misseeded", Policy: "max-quality", CostUSD: 2.1},
+	}}
+	outcomes, err := EvalAssertions(track, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outcomes[0].Measured; got < 0.95 || got > 0.96 {
+		t.Fatalf("cross-dataset ratio = %v, want 2.0/2.1", got)
+	}
+	if !outcomes[0].Pass {
+		t.Fatalf("ratio 0.952 >= 0.9 should pass: %s", outcomes[0])
+	}
+	if s := outcomes[0].String(); !strings.Contains(s, "misseeded/max-quality vs omniscient/max-quality") {
+		t.Fatalf("cross-dataset outcome does not name both datasets: %q", s)
+	}
+
+	// The candidate dataset missing entirely is a structural error.
+	tr.Cells = tr.Cells[:1]
+	if _, err := EvalAssertions(track, tr); err == nil || !strings.Contains(err.Error(), "no cells") {
+		t.Fatalf("want no-cells error, got %v", err)
+	}
+}
+
+// TestRunServerModeTraceError: a daemon that serves queries but not the
+// trace endpoint must leave a recorded reason on the cell, not a silently
+// nil Trace.
+func TestRunServerModeTraceError(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id": "j1", "status": "succeeded", "result":
+			{"records": [], "count": 3, "candidates": 2, "elapsed_sim_ms": 10, "cost_usd": 0.5}}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	tr, err := Run(parseMini(t), strings.Repeat("cd", 32), Options{CorpusDir: t.TempDir(), ServerURL: ts.URL})
+	if err != nil {
+		t.Fatalf("server-mode run: %v", err)
+	}
+	for i, c := range tr.Cells {
+		if c.Trace != nil {
+			t.Fatalf("cell %d: got a trace from a daemon with no trace endpoint", i)
+		}
+		if !strings.Contains(c.TraceError, "HTTP 404") {
+			t.Fatalf("cell %d: trace_error %q does not record the HTTP failure", i, c.TraceError)
+		}
 	}
 }

@@ -410,6 +410,28 @@ func TestStragglerReissue(t *testing.T) {
 	}
 }
 
+// TestTinyStragglerAfterDoesNotPanic: a StragglerAfter small enough that
+// halving it truncates to zero used to panic time.NewTicker inside the
+// scheduler; the tick interval is floored now, and the query still
+// completes byte-identically.
+func TestTinyStragglerAfterDoesNotPanic(t *testing.T) {
+	path := writeTicketCorpus(t, 40)
+	reg := NewRegistry(RegistryConfig{})
+	startWorker(t, reg, "a", path, nil)
+	coord := newTestCoordinator(t, reg, Config{StragglerAfter: time.Nanosecond})
+
+	spec := ticketSpec(2)
+	want := sequentialJSON(t, path, spec)
+
+	dres, ok, err := coord.TryExecute(context.Background(), coordinatorContext(t, path), spec, 2)
+	if err != nil || !ok {
+		t.Fatalf("TryExecute: ok=%v err=%v", ok, err)
+	}
+	if got := distributedJSON(t, dres); !bytes.Equal(got, want) {
+		t.Fatalf("tiny-straggler run diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestRegistryLifecycle: heartbeats reset failure counts, and MaxFailures
 // consecutive failures deregister a worker as lost.
 func TestRegistryLifecycle(t *testing.T) {

@@ -429,7 +429,14 @@ func (c *Coordinator) scatter(ctx context.Context, prefixSpec *serve.Spec, planS
 		}
 	}
 
-	stragglerTick := time.NewTicker(c.cfg.StragglerAfter / 2)
+	// NewCoordinator defaults a non-positive StragglerAfter, but a tiny
+	// positive value (say 1ns) halves to zero here and time.NewTicker
+	// panics on non-positive durations — floor the tick interval instead.
+	tickEvery := c.cfg.StragglerAfter / 2
+	if tickEvery <= 0 {
+		tickEvery = time.Millisecond
+	}
+	stragglerTick := time.NewTicker(tickEvery)
 	defer stragglerTick.Stop()
 
 	for len(done) < len(ranges) {

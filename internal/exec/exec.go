@@ -179,6 +179,9 @@ type Result struct {
 	// per-partition) record counts, observed selectivity, simulated
 	// time, cost, and LLM-call accounting. See internal/trace.
 	Trace *trace.Span
+	// Reopt summarizes the run's re-optimization check — nil unless the
+	// plan was optimized with ReoptAfterBatches > 0. See reopt.go.
+	Reopt *ReoptInfo
 }
 
 // RunPhysical executes an explicit physical operator sequence, selecting
@@ -297,7 +300,7 @@ func (e *Executor) ExecuteContext(ctx context.Context, chain []ops.Logical, poli
 	}
 	optElapsed := optTally.Total()
 	e.clock.Sleep(optElapsed)
-	res, err := e.RunPhysicalContext(ctx, plan.Ops)
+	res, err := e.runPlanContext(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -324,6 +327,7 @@ func (e *Executor) ExecuteContext(ctx context.Context, chain []ops.Logical, poli
 		res.Trace.SetAttr("policy", res.Policy)
 		res.Trace.SetAttr("plan", plan.String())
 		res.Trace.SetAttr("candidates", fmt.Sprint(res.Candidates))
+		appendReoptSpan(res.Trace, res.Reopt)
 		e.emitTrace(res.Trace)
 	}
 	return res, nil
@@ -336,7 +340,7 @@ func (e *Executor) ExecutePlanContext(ctx context.Context, plan *optimizer.Plan,
 	if plan == nil || len(plan.Ops) == 0 {
 		return nil, fmt.Errorf("exec: nil or empty plan")
 	}
-	res, err := e.RunPhysicalContext(ctx, plan.Ops)
+	res, err := e.runPlanContext(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +350,7 @@ func (e *Executor) ExecutePlanContext(ctx context.Context, plan *optimizer.Plan,
 		res.Trace.SetAttr("policy", policyDesc)
 		res.Trace.SetAttr("plan", plan.String())
 		res.Trace.SetAttr("plan_cached", "true")
+		appendReoptSpan(res.Trace, res.Reopt)
 		e.emitTrace(res.Trace)
 	}
 	return res, nil

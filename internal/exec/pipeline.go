@@ -50,9 +50,14 @@ type Progress struct {
 }
 
 // batch is a sequence-tagged slice of records flowing between stages.
+// epoch distinguishes batches emitted before (0) and after (1) a
+// mid-flight re-optimization decision: window stages pick their operator
+// by the epoch of the batch in hand, so a hot swap never mixes orderings
+// within one batch (see reopt.go).
 type batch struct {
-	seq  int
-	recs []*record.Record
+	seq   int
+	recs  []*record.Record
+	epoch int
 }
 
 // batchSize resolves the configured stream batch size. The result is never
@@ -97,10 +102,21 @@ func (e *Executor) RunPipelined(phys []ops.Physical) (*Result, error) {
 // canceled caller tears down every stage the same way an operator error
 // does, and the run reports the parent's context error.
 func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physical) (*Result, error) {
+	return e.runPipelined(parent, phys, nil)
+}
+
+// runPipelined is the engine body. rc, when non-nil, arms mid-flight
+// re-optimization over the plan's filter window (see reopt.go); it is
+// disarmed below on partitioned runs, whose interleaved per-partition
+// batch order has no single swap point.
+func (e *Executor) runPipelined(parent context.Context, phys []ops.Physical, rc *reoptController) (*Result, error) {
 	if len(phys) == 0 {
 		return nil, fmt.Errorf("exec: empty physical plan")
 	}
 	root := e.NewCtx()
+	if rc != nil {
+		rc.stats = root.Stats
+	}
 	start := e.clock.Now()
 
 	cctx, cancel := context.WithCancel(parent)
@@ -140,6 +156,12 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 				pstream, pplans = ps, plans
 			}
 		}
+	}
+	if pstream != nil {
+		// Partitioned prefixes run the window once per partition with
+		// interleaved batch order — no coherent swap point. The caller
+		// falls back to the post-run estimate correction.
+		rc = nil
 	}
 	// The partitioned prefix is the scan plus every consecutive streamable
 	// stage: those run once per partition; the first blocking stage (or
@@ -373,18 +395,47 @@ func (e *Executor) RunPipelinedContext(parent context.Context, phys []ops.Physic
 
 			if ops.IsStreamable(op) {
 				batches, emitted := 0, 0
+				// Re-optimization window bookkeeping: record flow over the
+				// first K batches, reported once via rc.post.
+				inWindow := rc != nil && rc.inWindow(pos)
+				winIn, winOut := 0, 0
 				for b := range in {
-					out, err := op.Execute(sctx, b.recs)
+					// The window's entry stage stamps the swap epoch: its
+					// first K outputs are epoch 0, everything after the
+					// decision is epoch 1. Interior window stages propagate
+					// the incoming epoch and pick their operator by it.
+					epoch := b.epoch
+					if inWindow && pos == rc.lo && batches >= rc.k {
+						epoch = 1
+					}
+					runOp := op
+					if inWindow {
+						runOp = rc.opFor(pos, epoch, op)
+					}
+					out, err := runOp.Execute(sctx, b.recs)
 					if err != nil {
-						fail(pos, op, err)
+						fail(pos, runOp, err)
 						return
 					}
-					if !send(chans[pos], batch{seq: b.seq, recs: out}) {
+					if !send(chans[pos], batch{seq: b.seq, recs: out, epoch: epoch}) {
 						return
 					}
 					batches++
 					emitted += len(out)
-					e.progress(pos, op, batches, emitted)
+					e.progress(pos, runOp, batches, emitted)
+					if inWindow && batches <= rc.k {
+						winIn += len(b.recs)
+						winOut += len(out)
+						if batches == rc.k {
+							rc.post(pos, winIn, winOut)
+							// Only the entry stage parks for the decision;
+							// downstream window stages keep draining so every
+							// stage can reach its K-th batch (deadlock-free).
+							if pos == rc.lo && !rc.waitDecided(cctx) {
+								return
+							}
+						}
+					}
 				}
 				return
 			}

@@ -66,6 +66,22 @@ func TestHistogramObserveAndQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramNoBoundsDoesNotPanic(t *testing.T) {
+	// A histogram with no finite bounds puts every observation in the
+	// +Inf bucket; quantiles have no finite bound to clamp to and must
+	// report 0 instead of indexing an empty bounds slice.
+	h := NewHistogram(nil)
+	h.Observe(3)
+	h.Observe(7)
+	v := h.Snapshot()
+	if v.Count != 2 || v.Sum != 10 {
+		t.Fatalf("snapshot = %+v, want count 2 sum 10", v)
+	}
+	if v.P50 != 0 || v.P99 != 0 {
+		t.Errorf("quantiles = p50 %v p99 %v, want 0 with no finite bounds", v.P50, v.P99)
+	}
+}
+
 func TestHistogramsRegistry(t *testing.T) {
 	var hs Histograms // zero value usable
 	hs.Observe("b_lat", LatencyBuckets, 0.2)
@@ -102,8 +118,15 @@ func TestRenderPromGolden(t *testing.T) {
 	c.Add("cascade_verify_calls", 80)
 	c.Add("cascade_resolve_calls", 5)
 	c.Add("cascade_big_model_calls_saved", 195)
+	// The re-optimization counter family the serving layer accumulates
+	// from reopt trace spans (see serve.accumulateReoptCounters).
+	c.Add("reopt_checks", 4)
+	c.Add("reopt_triggered", 2)
+	c.Add("reopt_swaps", 1)
 	hs := &Histograms{}
-	for _, v := range []float64{0.05, 0.3, 0.3, 2, 45} {
+	// The 400 s observation lands past the largest finite latency bucket
+	// (300 s), exercising the +Inf overflow cell in the exposition.
+	for _, v := range []float64{0.05, 0.3, 0.3, 2, 45, 400} {
 		hs.Observe("query_sim_seconds", LatencyBuckets, v)
 	}
 	gauges := map[string]float64{"total_cost.usd": 1.25, "admission_running": 2}
@@ -133,8 +156,10 @@ func TestRenderPromGolden(t *testing.T) {
 	for _, frag := range []string{
 		"# TYPE pz_query_sim_seconds histogram",
 		`pz_query_sim_seconds_bucket{le="0.5"} 3`,
-		`pz_query_sim_seconds_bucket{le="+Inf"} 5`,
-		"pz_query_sim_seconds_count 5",
+		`pz_query_sim_seconds_bucket{le="300"} 5`,
+		`pz_query_sim_seconds_bucket{le="+Inf"} 6`,
+		"pz_query_sim_seconds_count 6",
+		"pz_reopt_triggered 2",
 		"pz_total_cost_usd 1.25",
 		"# TYPE pz_queries_total gauge",
 	} {

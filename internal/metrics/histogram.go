@@ -114,6 +114,11 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 		}
 		return lo + (hi-lo)*(rank-prev)/float64(c)
 	}
+	// Unreachable when counts are consistent (the +Inf bucket always
+	// catches the rank), but a bounds-less histogram would panic here.
+	if len(h.bounds) == 0 {
+		return 0
+	}
 	return h.bounds[len(h.bounds)-1]
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/ops"
@@ -38,6 +39,20 @@ func Fingerprint(chain []ops.Logical, policy Policy, opts Options) string {
 	// settings must occupy distinct plan-cache slots.
 	fmt.Fprintf(h, "|nocascade=%t|cascadesample=%d|cascaderecall=%g",
 		opts.NoCascade, opts.CascadeSample, opts.CascadeMinRecall)
+	// Re-optimization knobs and seeded priors shape both the enumerated
+	// orderings and the executor's mid-flight behaviour, so they must
+	// separate plan-cache slots too. Priors are encoded sorted by
+	// position for map-order independence.
+	fmt.Fprintf(h, "|reoptafter=%d|reoptdiv=%g", opts.ReoptAfterBatches, opts.ReoptDivergence)
+	positions := make([]int, 0, len(opts.Priors))
+	for pos := range opts.Priors {
+		positions = append(positions, pos)
+	}
+	sort.Ints(positions)
+	for _, pos := range positions {
+		oc := opts.Priors[pos]
+		fmt.Fprintf(h, "|prior%d=%g:%g", pos, oc.Selectivity, oc.Fanout)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

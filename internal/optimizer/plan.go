@@ -79,6 +79,10 @@ type Plan struct {
 	// ConstraintViolated reports that the selecting policy could not meet
 	// its constraint and fell back to the nearest plan.
 	ConstraintViolated bool
+	// Opts records the options the plan was optimized under. The executor
+	// reads the re-optimization knobs from here, so a plan replayed from
+	// the serving plan cache behaves exactly like its first execution.
+	Opts Options
 
 	// pipelined selects which runtime estimate Time reports.
 	pipelined bool
@@ -148,6 +152,24 @@ type Options struct {
 	// CascadeMinRecall is the sample-positive recall the prefilter
 	// threshold must retain (0 = DefaultCascadeMinRecall).
 	CascadeMinRecall float64
+	// ReoptAfterBatches, when > 0, arms mid-flight re-optimization on the
+	// pipelined engine: after this many batches have crossed each
+	// re-orderable filter stage, observed selectivity and cost are
+	// compared against the plan's estimates, and past ReoptDivergence the
+	// remaining work is re-planned and hot-swapped at a stage boundary
+	// (see internal/exec). Sequential runs apply the same check after the
+	// run to correct the cached plan's estimates.
+	ReoptAfterBatches int
+	// ReoptDivergence is the relative estimate divergence that triggers a
+	// re-plan (0 = DefaultReoptDivergence). Divergence is the worst
+	// per-stage relative error between observed and estimated selectivity
+	// or per-record cost.
+	ReoptDivergence float64
+	// Priors seeds per-position selectivity/fan-out estimates without
+	// running sentinel calibration — the way corrected estimates from an
+	// earlier run (or a benchmark's deliberate mis-seeding) re-enter the
+	// optimizer. Sentinel sampling (SampleSize > 0) takes precedence.
+	Priors Calibration
 }
 
 // Optimizer enumerates and ranks physical plans.
@@ -214,11 +236,12 @@ func (o *Optimizer) Optimize(chain []ops.Logical, policy Policy, ctx *ops.Ctx) (
 	if err != nil {
 		return nil, nil, err
 	}
-	var calib Calibration
+	calib := o.opts.Priors
 	if o.opts.SampleSize > 0 {
 		if ctx == nil {
 			return nil, nil, fmt.Errorf("optimizer: sampling requires an execution context")
 		}
+		// Measured statistics beat seeded priors.
 		calib, err = Calibrate(chain, o.opts.SampleSize, ctx)
 		if err != nil {
 			return nil, nil, fmt.Errorf("optimizer: calibration: %w", err)
@@ -242,23 +265,51 @@ func (o *Optimizer) Optimize(chain []ops.Logical, policy Policy, ctx *ops.Ctx) (
 	if err != nil {
 		return nil, plans, err
 	}
+	chosen.Opts = o.opts
 	return chosen, plans, nil
 }
 
-// enumerate expands the physical plan space left to right, applying
-// calibration overrides and (optionally) Pareto pruning after each step.
+// enumerate expands the physical plan space: every calibrated filter
+// ordering (filterOrderings) times every physical choice per slot, with
+// (optional) Pareto pruning after each step and globally across orderings.
 func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib Calibration, casc *CascadeCalibration) []*Plan {
-	prefixes := []*Plan{{Logical: chain}}
-	for pos, lop := range chain {
+	var all []*Plan
+	orderings := filterOrderings(chain, calib)
+	for _, perm := range orderings {
+		all = append(all, o.enumerateOrdered(chain, perm, initial, calib, casc)...)
+	}
+	if len(orderings) > 1 && o.opts.Pruning {
+		// Orderings were pruned independently; prune once more across the
+		// merged set so a dominated ordering's survivors drop out.
+		all = paretoPrune(all)
+	}
+	if o.opts.MaxPlans > 0 && len(all) > o.opts.MaxPlans {
+		all = all[:o.opts.MaxPlans]
+	}
+	return all
+}
+
+// enumerateOrdered expands physical choices left to right along one slot
+// ordering: slot i executes logical position perm[i]. Calibration and the
+// cascade join follow the logical position; pruning and MaxPlans apply
+// per step as before.
+func (o *Optimizer) enumerateOrdered(chain []ops.Logical, perm []int, initial ops.Estimate, calib Calibration, casc *CascadeCalibration) []*Plan {
+	logical := make([]ops.Logical, len(chain))
+	for slot, lp := range perm {
+		logical[slot] = chain[lp]
+	}
+	prefixes := []*Plan{{Logical: logical}}
+	for _, lp := range perm {
+		lop := chain[lp]
 		options := lop.Physical()
-		if casc != nil && pos == casc.Pos {
+		if casc != nil && lp == casc.Pos {
 			// Calibrated cascade strategies join the position's generic
 			// options; they carry their own measurements, so the generic
 			// calibration overrides below don't apply to them.
 			options = append(append([]ops.Physical{}, options...), casc.Candidates...)
 		}
 		for _, phys := range options {
-			calib.apply(pos, phys)
+			calib.apply(lp, phys)
 			// Stamp the requested fan-out and cluster topology onto scans
 			// so the plan carries them to the engine (and through the
 			// serving plan cache).
@@ -280,7 +331,7 @@ func (o *Optimizer) enumerate(chain []ops.Logical, initial ops.Estimate, calib C
 				}
 				est := phys.Estimate(prev)
 				np := &Plan{
-					Logical:   chain,
+					Logical:   logical,
 					Ops:       append(append([]ops.Physical{}, prefix.Ops...), phys),
 					PerOp:     append(append([]ops.Estimate{}, prefix.PerOp...), est),
 					Final:     est,

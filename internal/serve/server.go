@@ -407,11 +407,16 @@ func (s *Server) runJob(parent context.Context, job *Job, spec *Spec, ds *pz.Dat
 		if res != nil {
 			res.Candidates = candidates
 		}
+		if err == nil {
+			// Keep the cached plan converging: every re-optimizing run
+			// folds its observed statistics back into the cache entry.
+			s.plans.Put(fp, cachedPlan(res), candidates)
+		}
 	} else {
 		s.counters.Inc("plan_cache_misses")
 		res, err = s.pzctx.ExecuteContext(ctx, ds, policy)
 		if err == nil {
-			s.plans.Put(fp, res.Plan, res.Candidates)
+			s.plans.Put(fp, cachedPlan(res), res.Candidates)
 		}
 	}
 	if err != nil {
@@ -455,6 +460,7 @@ func (s *Server) observeDone(job *Job, tr *trace.Span, elapsedSimMS int64, costU
 	if tr != nil {
 		job.setTrace(tr)
 		accumulateCascadeCounters(s.counters, tr)
+		accumulateReoptCounters(s.counters, tr)
 		s.traces.Push(&trace.Document{
 			SchemaVersion: trace.SchemaVersion,
 			JobID:         job.ID(),
@@ -496,6 +502,33 @@ func accumulateCascadeCounters(c *metrics.Counters, tr *trace.Span) {
 		case ops.TierResolve:
 			c.Add("cascade_resolve_calls", int64(tier.LLMCalls))
 			c.Add("cascade_big_model_calls_saved", -int64(tier.LLMCalls))
+		}
+	}
+}
+
+// cachedPlan picks the plan the cross-query cache should keep for a
+// completed run: the re-optimization-corrected plan when the run produced
+// one — so repeat queries start from observed statistics (and from the
+// hot-swapped filter ordering, when one was adopted) — otherwise the
+// optimizer's original choice.
+func cachedPlan(res *pz.Result) *pz.Plan {
+	if res.Reopt != nil && res.Reopt.CorrectedPlan != nil {
+		return res.Reopt.CorrectedPlan
+	}
+	return res.Plan
+}
+
+// accumulateReoptCounters folds a completed query's re-optimization spans
+// into the reopt_* counter family: checks performed, divergence triggers,
+// and adopted mid-flight plan swaps.
+func accumulateReoptCounters(c *metrics.Counters, tr *trace.Span) {
+	for _, sp := range tr.FindAll(trace.KindReopt) {
+		c.Inc("reopt_checks")
+		if sp.Attrs["triggered"] == "true" {
+			c.Inc("reopt_triggered")
+		}
+		if sp.Attrs["swapped"] == "true" {
+			c.Inc("reopt_swaps")
 		}
 	}
 }

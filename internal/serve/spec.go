@@ -40,6 +40,16 @@ type Spec struct {
 	// single reader, 0 defers to the server's -partitions default.
 	// Non-partitionable datasets ignore the request.
 	Partitions int `json:"partitions,omitempty"`
+	// ReoptAfter requests adaptive mid-flight re-optimization: the engine
+	// observes each re-orderable filter stage for this many batches, then
+	// hot-swaps the remaining run onto a cheaper filter ordering when the
+	// observed statistics diverge from the plan's estimates. 0 defers to
+	// the server's -reopt-after default.
+	ReoptAfter int `json:"reopt_after,omitempty"`
+	// ReoptDivergence is the relative estimate error that triggers the
+	// re-plan (0 defers to the server default, then to
+	// optimizer.DefaultReoptDivergence).
+	ReoptDivergence float64 `json:"reopt_divergence,omitempty"`
 }
 
 // DatasetSpec identifies a dataset by registered name, or by a local
@@ -85,6 +95,12 @@ func ParseSpec(data []byte) (*Spec, error) {
 	if s.Partitions < 0 {
 		return nil, fmt.Errorf("serve: spec partitions must be >= 0, got %d", s.Partitions)
 	}
+	if s.ReoptAfter < 0 {
+		return nil, fmt.Errorf("serve: spec reopt_after must be >= 0, got %d", s.ReoptAfter)
+	}
+	if s.ReoptDivergence < 0 {
+		return nil, fmt.Errorf("serve: spec reopt_divergence must be >= 0, got %g", s.ReoptDivergence)
+	}
 	return &s, nil
 }
 
@@ -105,6 +121,12 @@ func (s *Spec) Build(ctx *pz.Context) (*pz.Dataset, error) {
 		// Specs constructed programmatically bypass ParseSpec; keep the
 		// edge validation airtight either way.
 		return nil, fmt.Errorf("serve: spec partitions must be >= 0, got %d", s.Partitions)
+	}
+	if s.ReoptAfter < 0 {
+		return nil, fmt.Errorf("serve: spec reopt_after must be >= 0, got %d", s.ReoptAfter)
+	}
+	if s.ReoptDivergence < 0 {
+		return nil, fmt.Errorf("serve: spec reopt_divergence must be >= 0, got %g", s.ReoptDivergence)
 	}
 	name := s.Dataset.Name
 	if name == "" {
@@ -130,6 +152,9 @@ func (s *Spec) Build(ctx *pz.Context) (*pz.Dataset, error) {
 	}
 	if s.Partitions != 0 {
 		ds = ds.WithPartitions(s.Partitions)
+	}
+	if s.ReoptAfter != 0 || s.ReoptDivergence != 0 {
+		ds = ds.WithReopt(s.ReoptAfter, s.ReoptDivergence)
 	}
 	for i, op := range s.Ops {
 		ds, err = applyOp(ds, op)

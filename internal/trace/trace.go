@@ -43,6 +43,10 @@ const (
 	// KindWorker is a worker-side execution embedded under a cluster
 	// partition span (Worker names the executing daemon).
 	KindWorker = "worker"
+	// KindReopt is a mid-flight (or post-run) re-optimization check: its
+	// attrs carry the observed divergence, the trigger threshold, and the
+	// old/new plan displays when a hot swap happened.
+	KindReopt = "reopt"
 	// KindScatter is the coordinator's scatter/gather phase.
 	KindScatter = "scatter"
 	// KindSuffix is the coordinator-local run of a clustered query's

@@ -192,6 +192,26 @@ type Config struct {
 	// CascadeMinRecall is the sample-positive recall the cascade prefilter
 	// threshold must retain (0 = optimizer.DefaultCascadeMinRecall).
 	CascadeMinRecall float64
+	// ReoptAfterBatches enables adaptive mid-flight re-optimization: after
+	// every re-orderable filter stage has processed this many batches, the
+	// pipelined engine compares observed selectivity and cost against the
+	// plan's estimates and — past ReoptDivergence — hot-swaps the
+	// remaining batches onto a cheaper filter ordering. Outputs stay
+	// byte-identical; only cost/time change. 0 disables (default).
+	// Runs that cannot swap mid-flight (sequential, partitioned, or
+	// shorter than the observation window) still fold observed statistics
+	// into the corrected plan the serving plan cache keeps.
+	ReoptAfterBatches int
+	// ReoptDivergence is the relative estimate error that triggers a
+	// re-plan (0 = optimizer.DefaultReoptDivergence).
+	ReoptDivergence float64
+	// EstimatePriors seeds the optimizer's per-position cost-model
+	// estimates (selectivity for filters, fan-out for converts) when
+	// sentinel sampling is off — the operating point re-optimization
+	// recovers from when the priors turn out wrong. Keyed by logical
+	// plan position; ignored when SampleSize > 0 (measured statistics
+	// beat seeded priors).
+	EstimatePriors map[int]OpEstimate
 	// FailureRate injects transient LLM failures (testing).
 	FailureRate float64
 	// MaxAttempts bounds per-call LLM retries.
@@ -220,6 +240,12 @@ type Config struct {
 
 // Progress is one execution progress event (see Config.OnProgress).
 type Progress = exec.Progress
+
+// OpEstimate is one seeded cost-model estimate (see Config.EstimatePriors).
+type OpEstimate = optimizer.OpCalibration
+
+// ReoptInfo summarizes a run's re-optimization check (see Result.Reopt).
+type ReoptInfo = exec.ReoptInfo
 
 // Context owns a dataset registry and an execution engine. LLM usage
 // accumulates across Execute calls until ResetUsage.
@@ -344,7 +370,16 @@ type Dataset struct {
 	// partitions is the pipeline's requested scan fan-out (0 = the
 	// Config.Partitions default; see WithPartitions).
 	partitions int
-	err        error
+	// reoptAfter and reoptDivergence are the pipeline's re-optimization
+	// overrides (0 = the Config defaults; see WithReopt).
+	reoptAfter      int
+	reoptDivergence float64
+	err             error
+}
+
+func (d *Dataset) clone() *Dataset {
+	cp := *d
+	return &cp
 }
 
 func (d *Dataset) extend(op ops.Logical) *Dataset {
@@ -353,14 +388,18 @@ func (d *Dataset) extend(op ops.Logical) *Dataset {
 	}
 	chain := make([]ops.Logical, len(d.chain), len(d.chain)+1)
 	copy(chain, d.chain)
-	return &Dataset{ctx: d.ctx, chain: append(chain, op), partitions: d.partitions}
+	out := d.clone()
+	out.chain = append(chain, op)
+	return out
 }
 
 func (d *Dataset) fail(err error) *Dataset {
 	if d.err != nil {
 		return d
 	}
-	return &Dataset{ctx: d.ctx, chain: d.chain, partitions: d.partitions, err: err}
+	out := d.clone()
+	out.err = err
+	return out
 }
 
 // WithPartitions requests a partition fan-out for this pipeline's scan,
@@ -376,7 +415,31 @@ func (d *Dataset) WithPartitions(n int) *Dataset {
 	if d.err != nil {
 		return d
 	}
-	out := &Dataset{ctx: d.ctx, chain: d.chain, partitions: n}
+	out := d.clone()
+	out.partitions = n
+	return out
+}
+
+// WithReopt requests adaptive mid-flight re-optimization for this
+// pipeline, overriding Config.ReoptAfterBatches/ReoptDivergence: the
+// engine observes each re-orderable filter stage for after batches and
+// hot-swaps the rest of the run onto a cheaper filter ordering when the
+// observed statistics diverge from the plan's estimates by more than
+// divergence (0 = optimizer.DefaultReoptDivergence). after == 0 restores
+// the Config default.
+func (d *Dataset) WithReopt(after int, divergence float64) *Dataset {
+	if after < 0 {
+		return d.fail(fmt.Errorf("pz: negative re-optimization batch window %d", after))
+	}
+	if divergence < 0 {
+		return d.fail(fmt.Errorf("pz: negative re-optimization divergence %g", divergence))
+	}
+	if d.err != nil {
+		return d
+	}
+	out := d.clone()
+	out.reoptAfter = after
+	out.reoptDivergence = divergence
 	return out
 }
 
@@ -488,6 +551,9 @@ type Result struct {
 	// Trace is the query's span tree (stage, partition, and — for
 	// clustered execution — worker spans). See internal/trace.
 	Trace *Span
+	// Reopt summarizes the run's re-optimization check (nil unless the
+	// pipeline ran with ReoptAfterBatches > 0).
+	Reopt *ReoptInfo
 
 	inner *exec.Result
 }
@@ -515,13 +581,16 @@ func (c *Context) ExecuteContext(ctx context.Context, d *Dataset, policy Policy)
 		return nil, d.err
 	}
 	res, err := c.executor.ExecuteContext(ctx, d.chain, policy, optimizer.Options{
-		Pruning:          c.cfg.Pruning,
-		SampleSize:       c.cfg.SampleSize,
-		Partitions:       d.partitions,
-		ClusterWorkers:   c.cfg.ClusterWorkers,
-		NoCascade:        c.cfg.NoCascade,
-		CascadeSample:    c.cfg.CascadeSample,
-		CascadeMinRecall: c.cfg.CascadeMinRecall,
+		Pruning:           c.cfg.Pruning,
+		SampleSize:        c.cfg.SampleSize,
+		Partitions:        d.partitions,
+		ClusterWorkers:    c.cfg.ClusterWorkers,
+		NoCascade:         c.cfg.NoCascade,
+		CascadeSample:     c.cfg.CascadeSample,
+		CascadeMinRecall:  c.cfg.CascadeMinRecall,
+		ReoptAfterBatches: d.resolveReoptAfter(),
+		ReoptDivergence:   d.resolveReoptDivergence(),
+		Priors:            c.priors(),
 	})
 	if err != nil {
 		return nil, err
@@ -549,15 +618,48 @@ type OptimizerOptions = optimizer.Options
 // cached plans are only reused under identical optimization settings.
 func (c *Context) OptimizerOptions() OptimizerOptions {
 	return optimizer.Options{
-		Pruning:          c.cfg.Pruning,
-		SampleSize:       c.cfg.SampleSize,
-		Partitions:       c.cfg.Partitions,
-		ClusterWorkers:   c.cfg.ClusterWorkers,
-		Pipelined:        c.cfg.Parallelism > 1 || c.cfg.Partitions > 1,
-		NoCascade:        c.cfg.NoCascade,
-		CascadeSample:    c.cfg.CascadeSample,
-		CascadeMinRecall: c.cfg.CascadeMinRecall,
+		Pruning:           c.cfg.Pruning,
+		SampleSize:        c.cfg.SampleSize,
+		Partitions:        c.cfg.Partitions,
+		ClusterWorkers:    c.cfg.ClusterWorkers,
+		Pipelined:         c.cfg.Parallelism > 1 || c.cfg.Partitions > 1,
+		NoCascade:         c.cfg.NoCascade,
+		CascadeSample:     c.cfg.CascadeSample,
+		CascadeMinRecall:  c.cfg.CascadeMinRecall,
+		ReoptAfterBatches: c.cfg.ReoptAfterBatches,
+		ReoptDivergence:   c.cfg.ReoptDivergence,
+		Priors:            c.priors(),
 	}
+}
+
+// priors converts Config.EstimatePriors into the optimizer's calibration
+// form (nil when unset, keeping fingerprints stable for the common case).
+func (c *Context) priors() optimizer.Calibration {
+	if len(c.cfg.EstimatePriors) == 0 {
+		return nil
+	}
+	out := make(optimizer.Calibration, len(c.cfg.EstimatePriors))
+	for pos, est := range c.cfg.EstimatePriors {
+		out[pos] = est
+	}
+	return out
+}
+
+// resolveReoptAfter applies the dataset's WithReopt override to the
+// context default.
+func (d *Dataset) resolveReoptAfter() int {
+	if d.reoptAfter > 0 {
+		return d.reoptAfter
+	}
+	return d.ctx.cfg.ReoptAfterBatches
+}
+
+// resolveReoptDivergence mirrors resolveReoptAfter for the trigger.
+func (d *Dataset) resolveReoptDivergence() float64 {
+	if d.reoptDivergence > 0 {
+		return d.reoptDivergence
+	}
+	return d.ctx.cfg.ReoptDivergence
 }
 
 // OptimizerOptionsFor is OptimizerOptions with the dataset's per-pipeline
@@ -566,7 +668,10 @@ func (c *Context) OptimizerOptions() OptimizerOptions {
 // queries with different fan-outs never share a cached plan.
 func (c *Context) OptimizerOptionsFor(d *Dataset) OptimizerOptions {
 	o := c.OptimizerOptions()
-	if d != nil && d.partitions != 0 {
+	if d == nil {
+		return o
+	}
+	if d.partitions != 0 {
 		o.Partitions = d.partitions
 		// Mirrors the executor's resolution: a per-pipeline fan-out
 		// request selects the streaming model, and a context-level one
@@ -574,6 +679,8 @@ func (c *Context) OptimizerOptionsFor(d *Dataset) OptimizerOptions {
 		// single reader.
 		o.Pipelined = o.Pipelined || d.partitions > 1
 	}
+	o.ReoptAfterBatches = d.resolveReoptAfter()
+	o.ReoptDivergence = d.resolveReoptDivergence()
 	return o
 }
 
@@ -586,6 +693,7 @@ func wrapResult(res *exec.Result) *Result {
 		CostUSD:    res.CostUSD,
 		Stats:      res.Stats,
 		Trace:      res.Trace,
+		Reopt:      res.Reopt,
 		inner:      res,
 	}
 }
